@@ -1,0 +1,161 @@
+package bastion_test
+
+import (
+	"strings"
+	"testing"
+
+	"bastion"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end: build, compile,
+// launch protected, run, and inspect monitor state.
+func TestPublicAPIQuickstart(t *testing.T) {
+	p := bastion.NewGuestProgram()
+	b := bastion.NewBuilder("main", 0)
+	b.Local("prot", 8)
+	pa := b.Lea("prot", 0)
+	b.Store(pa, 0, bastion.Imm(3), 8)
+	addr := b.Call("mmap", bastion.Imm(0), bastion.Imm(4096), bastion.Imm(3),
+		bastion.Imm(0x22), bastion.Imm(-1), bastion.Imm(0))
+	pv := b.Load(b.Lea("prot", 0), 0, 8)
+	b.Call("mprotect", bastion.R(addr), bastion.Imm(4096), bastion.R(pv))
+	b.Ret(bastion.Imm(0))
+	p.AddFunc(b.Build())
+
+	art, err := bastion.Compile(p, bastion.CompileOptions{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if art.Stats.Total() == 0 {
+		t.Fatal("no instrumentation emitted")
+	}
+	prot, err := bastion.Launch(art, bastion.NewKernel(), bastion.DefaultMonitorConfig(),
+		bastion.WithMaxSteps(1<<18))
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if _, err := prot.Machine.CallFunction("main"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations: %v", prot.Monitor.Violations)
+	}
+	if prot.Monitor.Hooks < 2 { // mmap + mprotect
+		t.Fatalf("hooks = %d", prot.Monitor.Hooks)
+	}
+}
+
+func TestSensitiveSyscallsIsACopy(t *testing.T) {
+	a := bastion.SensitiveSyscalls()
+	if len(a) != 20 {
+		t.Fatalf("sensitive set = %d, want 20 (Table 1)", len(a))
+	}
+	a[0] = 9999
+	b := bastion.SensitiveSyscalls()
+	if b[0] == 9999 {
+		t.Fatal("SensitiveSyscalls returns shared state")
+	}
+}
+
+func TestAttackCatalogViaFacade(t *testing.T) {
+	cat := bastion.AttackCatalog()
+	if len(cat) != 32 {
+		t.Fatalf("catalog = %d", len(cat))
+	}
+	// One cheap end-to-end verdict through the facade.
+	v, err := bastion.EvaluateAttack(cat[len(cat)-1]) // ind-jujutsu
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.BaselineCompleted || !v.FullBlocked {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	if _, err := bastion.NewWorkload("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	w, err := bastion.NewWorkload("vsftpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.UnitLabel() != "transfer" {
+		t.Fatalf("label = %q", w.UnitLabel())
+	}
+}
+
+func TestApplicationBuildersValidate(t *testing.T) {
+	for name, build := range map[string]func() *bastion.Program{
+		"nginx":  bastion.BuildNginx,
+		"sqlite": bastion.BuildSQLite,
+		"vsftpd": bastion.BuildVsftpd,
+	} {
+		p := build()
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestBuildersProduceIndependentPrograms: compiling one artifact must not
+// mutate a second build of the same app.
+func TestBuildersProduceIndependentPrograms(t *testing.T) {
+	p1 := bastion.BuildNginx()
+	p2 := bastion.BuildNginx()
+	before := p2.String()
+	if _, err := bastion.Compile(p1, bastion.CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != before {
+		t.Fatal("Compile mutated an unrelated program")
+	}
+}
+
+func TestLaunchUnprotectedFacade(t *testing.T) {
+	art, err := bastion.Compile(bastion.BuildVsftpd(), bastion.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := bastion.LaunchUnprotected(art, bastion.NewKernel(), bastion.WithMaxSteps(1<<22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Monitor != nil {
+		t.Fatal("unprotected launch attached a monitor")
+	}
+	if _, err := prot.Machine.CallFunction("ftp_init"); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+}
+
+// TestNotCallableAppliesToNonSensitiveSyscalls (§11.3): the call-type
+// filter disallows every unused syscall, security-critical or not.
+func TestNotCallableAppliesToNonSensitiveSyscalls(t *testing.T) {
+	p := bastion.NewGuestProgram()
+	b := bastion.NewBuilder("main", 0)
+	b.Call("getpid")
+	b.Ret(bastion.Imm(0))
+	p.AddFunc(b.Build())
+	art, err := bastion.Compile(p, bastion.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := bastion.Launch(art, bastion.NewKernel(), bastion.DefaultMonitorConfig(),
+		bastion.WithMaxSteps(1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prot.Machine.CallFunction("main"); err != nil {
+		t.Fatalf("legit run: %v", err)
+	}
+	// lseek is non-sensitive but unused by this program: driving the stub
+	// directly must die at the filter.
+	_, err = prot.Machine.CallFunction("lseek", 3, 0, 0)
+	if err == nil {
+		t.Fatal("unused non-sensitive syscall allowed")
+	}
+	if !strings.Contains(err.Error(), "seccomp") {
+		t.Fatalf("killed by %v, want seccomp", err)
+	}
+}

@@ -1,0 +1,73 @@
+// bastion-attack runs the security case studies of §10: the 32 attacks of
+// Table 6, each against the unprotected baseline, each BASTION context in
+// isolation, and the full configuration.
+//
+// Usage:
+//
+//	bastion-attack              # whole catalog, Table 6 layout
+//	bastion-attack -id rop-exec-01 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bastion/internal/attacks"
+	"bastion/internal/bench"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single scenario by id")
+	verbose := flag.Bool("v", false, "print per-defense outcomes")
+	flag.Parse()
+
+	if *id != "" {
+		s, ok := attacks.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bastion-attack: no scenario %q\n", *id)
+			os.Exit(2)
+		}
+		runOne(s, *verbose)
+		return
+	}
+
+	rows, err := bench.Table6()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bastion-attack: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(bench.RenderTable6(rows))
+	blocked := 0
+	for _, r := range rows {
+		if r.Verdict.FullBlocked {
+			blocked++
+		}
+	}
+	fmt.Printf("full BASTION blocked %d/%d attacks\n", blocked, len(rows))
+}
+
+func runOne(s attacks.Scenario, verbose bool) {
+	fmt.Printf("%s — %s (%s, %s)\n", s.ID, s.Name, s.Category, s.App)
+	for _, d := range []attacks.Defense{
+		attacks.DefNone, attacks.DefCT, attacks.DefCF, attacks.DefAI,
+		attacks.DefAll, attacks.DefCET, attacks.DefCFI,
+	} {
+		out, err := attacks.Execute(s, d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bastion-attack: %s under %s: %v\n", s.ID, d.Name, err)
+			os.Exit(1)
+		}
+		status := "COMPLETED"
+		if out.Blocked() {
+			status = "blocked by " + out.KilledBy
+		} else if !out.Completed {
+			status = "failed"
+		}
+		fmt.Printf("  %-12s %s", d.Name, status)
+		if verbose && out.Reason != "" {
+			fmt.Printf("  (%s)", out.Reason)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,113 @@
+// bastion-bench regenerates the paper's evaluation artifacts: Figure 3 and
+// Tables 3-7, plus the §9.2 extras (monitor init latency, call-depth
+// statistics, and the accept fast-path ablation).
+//
+// Usage:
+//
+//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|extras] [-units N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bastion/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | extras")
+	units := flag.Int("units", bench.DefaultUnits, "work units per measurement")
+	reportOut := flag.String("report", "", "write a complete markdown report to this file")
+	flag.Parse()
+
+	if *reportOut != "" {
+		rep, err := bench.CollectReport(*units)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bastion-bench: report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*reportOut, []byte(rep.Markdown()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bastion-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *reportOut)
+		return
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "bastion-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig3", func() error {
+		rows, err := bench.Figure3(*units)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFigure3(rows))
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := bench.Table3(*units)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable3(rows))
+		return nil
+	})
+	run("table4", func() error {
+		res, err := bench.Table4(*units)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable4(res, *units))
+		return nil
+	})
+	run("table5", func() error {
+		rows, err := bench.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable5(rows))
+		return nil
+	})
+	run("table6", func() error {
+		rows, err := bench.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable6(rows))
+		return nil
+	})
+	run("table7", func() error {
+		rows, err := bench.Table7(*units)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable7(rows))
+		return nil
+	})
+	run("extras", func() error {
+		for _, app := range bench.Apps {
+			st, err := bench.InitAndDepth(app, *units)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: monitor init %.2f ms; syscall depth avg %.1f min %d max %d\n",
+				st.App, st.InitMillis, st.AvgDepth, st.MinDepth, st.MaxDepth)
+		}
+		res, err := bench.AblationAcceptFastPath("nginx", *units)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("accept4 fast-path ablation (nginx): %.2f%% with fast path, %.2f%% with full walk\n",
+			res.FastPathOverhead, res.FullWalkOverhead)
+		return nil
+	})
+}

@@ -1,0 +1,101 @@
+// bastion-exec loads a textual IR listing (.bir, as written by
+// bastionc -o), optionally compiles it with BASTION, and executes a guest
+// function — completing the compile → dump → reload → run toolchain.
+//
+// Usage:
+//
+//	bastion-exec -in prog.bir [-fn main] [-args 1,2] [-unprotected]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bastion/internal/core"
+	"bastion/internal/core/monitor"
+	"bastion/internal/ir/irtext"
+	"bastion/internal/kernel"
+	"bastion/internal/vm"
+)
+
+func main() {
+	in := flag.String("in", "", "input .bir listing")
+	fn := flag.String("fn", "main", "guest function to invoke")
+	argsFlag := flag.String("args", "", "comma-separated integer arguments")
+	unprotected := flag.Bool("unprotected", false, "run without BASTION")
+	maxSteps := flag.Uint64("max-steps", 1<<26, "instruction budget")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "bastion-exec: -in is required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := irtext.Parse(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *in, err))
+	}
+
+	var args []uint64
+	if *argsFlag != "" {
+		for _, part := range strings.Split(*argsFlag, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("argument %q: %w", part, err))
+			}
+			args = append(args, uint64(v))
+		}
+	}
+
+	k := kernel.New(nil)
+	var prot *core.Protected
+	if *unprotected {
+		if err := prog.Link(); err != nil {
+			fatal(err)
+		}
+		if err := prog.Validate(); err != nil {
+			fatal(err)
+		}
+		prot, err = core.LaunchUnprotected(&core.Artifact{Prog: prog}, k, vm.WithMaxSteps(*maxSteps))
+	} else {
+		var art *core.Artifact
+		art, err = core.Compile(prog, core.CompileOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		prot, err = core.Launch(art, k, monitor.DefaultConfig(), vm.WithMaxSteps(*maxSteps))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	ret, err := prot.Machine.CallFunction(*fn, args...)
+	fmt.Printf("%s(%s) = %d", *fn, *argsFlag, int64(ret))
+	if err != nil {
+		fmt.Printf("  [terminated: %v]", err)
+	}
+	fmt.Println()
+	if out := prot.Proc.Stdout.String(); out != "" {
+		fmt.Printf("guest stdout: %q\n", out)
+	}
+	if prot.Monitor != nil {
+		fmt.Printf("monitor: %d hooks, %d violations\n", prot.Monitor.Hooks, len(prot.Monitor.Violations))
+		for _, v := range prot.Monitor.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	for _, e := range prot.Proc.Events {
+		fmt.Printf("kernel event: %s\n", e)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bastion-exec: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// bastion-run launches one of the bundled applications under a chosen
+// protection configuration and drives its paper workload, printing runtime
+// statistics — the interactive analog of the paper's §9 runs.
+//
+// Usage:
+//
+//	bastion-run -app nginx -units 200 [-contexts ct,cf,ai] [-unprotected]
+//	            [-extend-fs] [-no-accept-fastpath]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bastion/internal/bench"
+)
+
+func main() {
+	app := flag.String("app", "nginx", "application: nginx | sqlite | vsftpd")
+	units := flag.Int("units", 100, "work units to drive")
+	ctxFlag := flag.String("contexts", "ct,cf,ai", "enabled contexts (comma list of ct,cf,ai)")
+	unprotected := flag.Bool("unprotected", false, "run without BASTION")
+	extendFS := flag.Bool("extend-fs", false, "also protect file-system syscalls (§11.2)")
+	noFast := flag.Bool("no-accept-fastpath", false, "disable the accept/accept4 fast path")
+	showMaps := flag.Bool("maps", false, "print the final process memory map")
+	flag.Parse()
+
+	spec := bench.RunSpec{
+		App:                   *app,
+		Units:                 *units,
+		ExtendFS:              *extendFS,
+		DisableAcceptFastPath: *noFast,
+	}
+	if *unprotected {
+		spec.Mitigation = bench.MitVanilla
+	} else {
+		switch normalize(*ctxFlag) {
+		case "ct":
+			spec.Mitigation = bench.MitCETCT
+		case "ct,cf":
+			spec.Mitigation = bench.MitCETCTCF
+		case "ct,cf,ai":
+			spec.Mitigation = bench.MitFull
+		default:
+			fmt.Fprintf(os.Stderr, "bastion-run: contexts must be ct / ct,cf / ct,cf,ai\n")
+			os.Exit(2)
+		}
+	}
+
+	res, err := bench.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bastion-run: %v\n", err)
+		os.Exit(1)
+	}
+
+	wl := res.Workload
+	fmt.Printf("bastion-run: %s under %s\n", *app, spec.Mitigation)
+	fmt.Printf(" units:           %d %ss, %d bytes\n", wl.Units, res.Target.UnitLabel(), wl.Bytes)
+	fmt.Printf(" init phase:      %d cycles (%.2f ms)\n", wl.InitCycles, float64(wl.InitCycles)/bench.SimHz*1000)
+	fmt.Printf(" steady state:    %d cycles (%.0f per unit)\n", wl.TotalCycles, wl.PerUnitTotal())
+	fmt.Printf(" monitor share:   %d cycles (%.0f per unit), %d hooks\n",
+		wl.MonitorCycles, wl.PerUnitMonitor(), wl.Traps)
+	fmt.Printf(" throughput:      %.1f %ss/sec (modeled, %d workers)\n",
+		bench.Throughput(res), res.Target.UnitLabel(), res.Target.Workers())
+
+	if res.Protected.Monitor != nil {
+		mon := res.Protected.Monitor
+		fmt.Printf(" monitor init:    %.2f ms\n", float64(mon.InitCycles)/bench.SimHz*1000)
+		fmt.Print(mon.Report())
+	}
+	m := res.Protected.Machine
+	if m.DepthN > 0 {
+		fmt.Printf(" syscall depth:   avg %.1f, min %d, max %d\n", m.AvgSyscallDepth(), m.MinDepth, m.MaxDepth)
+	}
+	if *showMaps {
+		fmt.Printf(" memory map:\n%s", res.Protected.Proc.Maps())
+	}
+}
+
+func normalize(s string) string {
+	parts := strings.Split(strings.ToLower(strings.ReplaceAll(s, " ", "")), ",")
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,43 @@
+// Attackdemo: walk three representative Table 6 attacks — one per
+// category — through every defense configuration, showing which context
+// stops what (the paper's §10 case-study narrative).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bastion"
+)
+
+func main() {
+	picks := map[string]string{
+		"rop-exec-01":  "ROP chain into the exec path (CET-era payload)",
+		"direct-cscfi": "NEWTON CsCFI: pointer to a never-used syscall",
+		"ind-jujutsu":  "Control Jujutsu: full-function reuse, CFI-clean",
+	}
+	for _, s := range bastion.AttackCatalog() {
+		note, ok := picks[s.ID]
+		if !ok {
+			continue
+		}
+		v, err := bastion.EvaluateAttack(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  %s [%s on %s]\n", note, s.Name, s.Category, s.App)
+		fmt.Printf("  unprotected completes: %v\n", v.BaselineCompleted)
+		mark := func(b bool) string {
+			if b {
+				return "✓ blocks"
+			}
+			return "× bypassed"
+		}
+		fmt.Printf("  Call-Type:          %s\n", mark(v.CT))
+		fmt.Printf("  Control-Flow:       %s\n", mark(v.CF))
+		fmt.Printf("  Argument-Integrity: %s\n", mark(v.AI))
+		fmt.Printf("  All three together: %s\n\n", mark(v.FullBlocked))
+	}
+	fmt.Println("Even when one context is bypassed, another compensates —")
+	fmt.Println("the defense-in-depth claim of the paper's Table 6.")
+}

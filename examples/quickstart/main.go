@@ -1,0 +1,88 @@
+// Quickstart: build a tiny guest program, compile it with BASTION, run it
+// protected, then corrupt a system call argument the way an attacker with
+// arbitrary memory write would — and watch the argument-integrity context
+// kill the process.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bastion"
+)
+
+func buildGuest() *bastion.Program {
+	p := bastion.NewGuestProgram() // syscall wrappers + string helpers
+
+	// harden(): prot = PROT_READ; mprotect(region, 4096, prot)
+	// The prot variable is memory-backed, so the compiler shadows its
+	// stores and binds it at the callsite.
+	b := bastion.NewBuilder("harden", 1)
+	b.Local("prot", 8)
+	pa := b.Lea("prot", 0)
+	b.Store(pa, 0, bastion.Imm(1), 8) // PROT_READ
+	region := b.LoadLocal("p0")
+	pv := b.Load(b.Lea("prot", 0), 0, 8)
+	r := b.Call("mprotect", bastion.R(region), bastion.Imm(4096), bastion.R(pv))
+	b.Ret(bastion.R(r))
+	p.AddFunc(b.Build())
+
+	// main(): map a page, harden it, exit.
+	m := bastion.NewBuilder("main", 0)
+	addr := m.Call("mmap", bastion.Imm(0), bastion.Imm(4096),
+		bastion.Imm(3 /*RW*/), bastion.Imm(0x22 /*ANON|PRIV*/), bastion.Imm(-1), bastion.Imm(0))
+	m.Call("harden", bastion.R(addr))
+	m.Call("exit_group", bastion.Imm(0))
+	m.Ret(bastion.Imm(0))
+	p.AddFunc(m.Build())
+	return p
+}
+
+func main() {
+	// Compile: analysis + instrumentation + metadata.
+	art, err := bastion.Compile(buildGuest(), bastion.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d instrumentation sites, %d sensitive callsites\n",
+		art.Stats.Total(), art.Stats.SensitiveCallsites)
+
+	// Legitimate run under full protection.
+	prot, err := bastion.Launch(art, bastion.NewKernel(), bastion.DefaultMonitorConfig(),
+		bastion.WithMaxSteps(1<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prot.Machine.Run(); err != nil {
+		log.Fatalf("legitimate run failed: %v", err)
+	}
+	fmt.Printf("legitimate run: %d monitor hooks, %d violations\n",
+		prot.Monitor.Hooks, len(prot.Monitor.Violations))
+
+	// Attack run: corrupt the spilled prot argument at the mprotect stub
+	// boundary (PROT_READ -> PROT_READ|WRITE|EXEC), bypassing the
+	// instrumentation that keeps the shadow copy fresh.
+	art2, err := bastion.Compile(buildGuest(), bastion.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prot2, err := bastion.Launch(art2, bastion.NewKernel(), bastion.DefaultMonitorConfig(),
+		bastion.WithMaxSteps(1<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prot2.Machine.HookFunc("mprotect", 0, func(m *bastion.Machine) error {
+		slot, err := m.SlotAddr("p2")
+		if err != nil {
+			return err
+		}
+		return m.Mem.WriteUint(slot, 7, 8) // PROT_RWX
+	}); err != nil {
+		log.Fatal(err)
+	}
+	err = prot2.Machine.Run()
+	fmt.Printf("attack run:   %v\n", err)
+	for _, v := range prot2.Monitor.Violations {
+		fmt.Printf("  detected: %s\n", v)
+	}
+}

@@ -1,0 +1,3 @@
+module bastion
+
+go 1.22

@@ -1,0 +1,501 @@
+// Package nginx builds the guest web server used throughout the paper's
+// evaluation: an event-loop HTTP server whose system call profile matches
+// Table 4 (initialization-heavy mmap/mprotect, per-worker socket and
+// credential setup, accept4-dominated steady state) and whose code
+// contains the two vulnerable patterns of §3.4:
+//
+//   - Listing 1: ngx_execute_proc reaches execve(ctx->path, ...) through a
+//     context structure, and ngx_output_chain dispatches through a
+//     corruptible function pointer (ctx->output_filter).
+//   - Listing 2: ngx_http_get_indexed_variable dispatches through
+//     v[index].get_handler with an unchecked index over a global handler
+//     table, the NEWTON non-pointer-corruption surface.
+package nginx
+
+import (
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+)
+
+// Port is the server's listen port.
+const Port = 80
+
+// UpstreamPort is the port workers connect to (health/upstream channel).
+const UpstreamPort = 8081
+
+// Workers is the default worker count (the paper configures 32).
+const Workers = 32
+
+// Handler-table geometry for ngx_http_get_indexed_variable: entries of
+// {get_handler, data}, 16 bytes each.
+const (
+	varEntrySize = 16
+	varEntries   = 4
+)
+
+// Function names exposed to workloads and attack scenarios.
+const (
+	FnInit          = "ngx_init"
+	FnHandleRequest = "ngx_handle_request"
+	FnExecuteProc   = "ngx_execute_proc"
+	FnOutputChain   = "ngx_output_chain"
+	FnIndexedVar    = "ngx_http_get_indexed_variable"
+	FnMasterUpgrade = "ngx_master_upgrade"
+	FnMasterCycle   = "ngx_master_cycle"
+	FnSpawnProcess  = "ngx_spawn_process"
+	FnChainWriter   = "ngx_chain_writer"
+	FnVarHost       = "ngx_http_var_host"
+	FnVarURI        = "ngx_http_var_uri"
+)
+
+// Build assembles the guest program. The returned program is not yet
+// compiled/linked; pass it through core.Compile (or link directly for an
+// unprotected baseline).
+func Build() *ir.Program {
+	p := guestlibc.NewProgram()
+
+	// ngx_cycle: [0]=listen fd, [8]=docroot ptr, [16]=upgrade flag.
+	p.AddGlobal(&ir.Global{Name: "ngx_cycle", Size: 32})
+	// exec_ctx (Listing 1's ctx): [0]=path, [8]=argv, [16]=envp.
+	p.AddGlobal(&ir.Global{Name: "exec_ctx", Size: 32})
+	// Upgrade binary path, built by code at init.
+	p.AddGlobal(&ir.Global{Name: "upgrade_path", Size: 32})
+	// Output chain context: [0]=output_filter fn ptr, [8]=filter_ctx.
+	p.AddGlobal(&ir.Global{Name: "chain_ctx", Size: 16})
+	// Listing 2's v[]: get_handler/data pairs.
+	p.AddGlobal(&ir.Global{Name: "var_handlers", Size: varEntrySize * varEntries})
+	p.AddGlobal(&ir.Global{Name: "ngx_http_variable_depth", Size: 8})
+	// Serving state: bytes served counter.
+	p.AddGlobal(&ir.Global{Name: "bytes_served", Size: 8})
+	// Static docroot prefix "/srv" + requested file name buffer.
+	p.AddGlobal(&ir.Global{Name: "docroot", Size: 8, Init: []byte("/srv")})
+	// Process-spawn callback table (real nginx passes ngx_execute_proc to
+	// ngx_spawn_process as a callback, making it legitimately
+	// address-taken — the Control Jujutsu premise).
+	p.AddGlobal(&ir.Global{Name: "spawn_table", Size: 16})
+	// Master-loop flag a request can set to ask for a binary upgrade.
+	p.AddGlobal(&ir.Global{Name: "upgrade_requested", Size: 8})
+	// Session cookie staging area (attacker-reachable scratch in attacks).
+	p.AddGlobal(&ir.Global{Name: "scratch", Size: 128})
+
+	addVarHandlers(p)
+	addSpawn(p)
+	addOutputChain(p)
+	addExecuteProc(p)
+	addIndexedVariable(p)
+	addWorkerInit(p)
+	addInit(p)
+	addHandleRequest(p)
+	addMasterUpgrade(p)
+	addMain(p)
+	return p
+}
+
+// storeBytes emits per-byte stores of s (plus NUL) at reg+off.
+func storeBytes(b *ir.Builder, addr ir.Reg, off int64, s string) {
+	for i := 0; i < len(s); i++ {
+		b.Store(addr, off+int64(i), ir.Imm(int64(s[i])), 1)
+	}
+	b.Store(addr, off+int64(len(s)), ir.Imm(0), 1)
+}
+
+// sockaddrStores emits an AF_INET sockaddr for port into a local buffer.
+func sockaddrStores(b *ir.Builder, local string, port int64) ir.Reg {
+	sa := b.Lea(local, 0)
+	b.Store(sa, 0, ir.Imm(2), 2)
+	b.Store(sa, 2, ir.Imm(port>>8), 1)
+	b.Store(sa, 3, ir.Imm(port&0xff), 1)
+	return sa
+}
+
+// addVarHandlers defines the benign indexed-variable handlers.
+func addVarHandlers(p *ir.Program) {
+	// ngx_http_var_host(r, varp, data): *varp = data; return 0 (NGX_OK).
+	for _, name := range []string{FnVarHost, FnVarURI} {
+		b := ir.NewBuilder(name, 3)
+		varp := b.LoadLocal("p1")
+		data := b.LoadLocal("p2")
+		b.Store(varp, 0, ir.R(data), 8)
+		b.Ret(ir.Imm(0))
+		p.AddFunc(b.Build())
+	}
+}
+
+// addOutputChain defines ngx_chain_writer and ngx_output_chain (Listing 1,
+// lines 10-19): the response path dispatches through ctx->output_filter.
+func addOutputChain(p *ir.Program) {
+	// ngx_chain_writer(filter_ctx, in): writes the buffer described by in
+	// {[0]=fd, [8]=buf, [16]=len} to the connection.
+	w := ir.NewBuilder(FnChainWriter, 2)
+	in := w.LoadLocal("p1")
+	fd := w.Load(in, 0, 8)
+	buf := w.Load(in, 8, 8)
+	ln := w.Load(in, 16, 8)
+	n := w.Call("write", ir.R(fd), ir.R(buf), ir.R(ln))
+	w.Ret(ir.R(n))
+	p.AddFunc(w.Build())
+
+	// ngx_output_chain(inAddr): indirect dispatch through the global
+	// chain context (the corruptible callsite of the Listing 1 attack).
+	b := ir.NewBuilder(FnOutputChain, 1)
+	cc := b.GlobalLea("chain_ctx", 0)
+	filter := b.Load(cc, 0, 8)
+	fctx := b.Load(cc, 8, 8)
+	inp := b.LoadLocal("p0")
+	r := b.CallInd(filter, "i64(i64,i64)", ir.R(fctx), ir.R(inp))
+	b.Ret(ir.R(r))
+	p.AddFunc(b.Build())
+}
+
+// addExecuteProc defines ngx_execute_proc (Listing 1, lines 2-9).
+func addExecuteProc(p *ir.Program) {
+	b := ir.NewBuilder(FnExecuteProc, 2)
+	ctx := b.LoadLocal("p1") // data -> ngx_exec_ctx_t*
+	path := b.Load(ctx, 0, 8)
+	argv := b.Load(ctx, 8, 8)
+	envp := b.Load(ctx, 16, 8)
+	b.Call("execve", ir.R(path), ir.R(argv), ir.R(envp))
+	// execve only returns on failure; exit(1) as in the listing.
+	b.Call("exit", ir.Imm(1))
+	b.Ret(ir.Imm(-1))
+	p.AddFunc(b.Build())
+}
+
+// addIndexedVariable defines ngx_http_get_indexed_variable (Listing 2):
+// the index is NOT bounds-checked, by design.
+func addIndexedVariable(p *ir.Program) {
+	b := ir.NewBuilder(FnIndexedVar, 2)
+	r := b.LoadLocal("p0")
+	idx := b.LoadLocal("p1")
+	base := b.GlobalLea("var_handlers", 0)
+	scaled := b.Bin(ir.OpMul, ir.R(idx), ir.Imm(varEntrySize))
+	entry := b.Bin(ir.OpAdd, ir.R(base), ir.R(scaled))
+	handler := b.Load(entry, 0, 8)
+	data := b.Load(entry, 8, 8)
+	b.Local("value", 8)
+	valp := b.Lea("value", 0)
+	res := b.CallInd(handler, "i64(i64,i64,i64)", ir.R(r), ir.R(valp), ir.R(data))
+	depth := b.GlobalLea("ngx_http_variable_depth", 0)
+	dv := b.Load(depth, 0, 8)
+	dv2 := b.Bin(ir.OpAdd, ir.R(dv), ir.Imm(1))
+	depth2 := b.GlobalLea("ngx_http_variable_depth", 0)
+	b.Store(depth2, 0, ir.R(dv2), 8)
+	b.Ret(ir.R(res))
+	p.AddFunc(b.Build())
+}
+
+// addWorkerInit defines per-worker initialization: pool mappings, an
+// upstream connection, and credential drop — the Table 4 init profile.
+func addWorkerInit(p *ir.Program) {
+	b := ir.NewBuilder("ngx_worker_init", 1)
+	b.Local("sa", 16)
+	b.Local("i", 8)
+	b.Local("pool", 8)
+
+	// 16 pool mmaps; every third one made read-only (mprotect).
+	b.StoreLocal("i", ir.Imm(0))
+	b.Label("pool_loop")
+	iv := b.LoadLocal("i")
+	c := b.Bin(ir.OpLt, ir.R(iv), ir.Imm(16))
+	done := b.Bin(ir.OpEq, ir.R(c), ir.Imm(0))
+	b.BranchNZ(ir.R(done), "pool_done")
+	addr := b.Call("mmap", ir.Imm(0), ir.Imm(16384), ir.Imm(kernel.ProtRead|kernel.ProtWrite),
+		ir.Imm(kernel.MapPrivate|kernel.MapAnonymous), ir.Imm(-1), ir.Imm(0))
+	b.StoreLocal("pool", ir.R(addr))
+	iv2 := b.LoadLocal("i")
+	rem := b.Bin(ir.OpMod, ir.R(iv2), ir.Imm(3))
+	skip := b.Bin(ir.OpNe, ir.R(rem), ir.Imm(0))
+	b.BranchNZ(ir.R(skip), "no_protect")
+	pv := b.LoadLocal("pool")
+	b.Call("mprotect", ir.R(pv), ir.Imm(4096), ir.Imm(kernel.ProtRead))
+	b.Label("no_protect")
+	iv3 := b.LoadLocal("i")
+	inc := b.Bin(ir.OpAdd, ir.R(iv3), ir.Imm(1))
+	b.StoreLocal("i", ir.R(inc))
+	b.Jump("pool_loop")
+	b.Label("pool_done")
+
+	// Upstream channel: socket + connect.
+	sfd := b.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+	b.Local("sfd", 8)
+	b.StoreLocal("sfd", ir.R(sfd))
+	sa := sockaddrStores(b, "sa", UpstreamPort)
+	sfd2 := b.LoadLocal("sfd")
+	b.Call("connect", ir.R(sfd2), ir.R(sa), ir.Imm(16))
+
+	// Drop privileges.
+	b.Call("setuid", ir.Imm(33))
+	b.Call("setgid", ir.Imm(33))
+
+	// Fork worker helpers (cache manager etc.): 3 clones per worker.
+	b.Call("clone", ir.Imm(0x11))
+	b.Call("clone", ir.Imm(0x11))
+	b.Call("clone", ir.Imm(0x11))
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+}
+
+// addInit defines ngx_init(workers): master setup, listener sockets, the
+// handler/chain tables, and per-worker initialization.
+func addInit(p *ir.Program) {
+	b := ir.NewBuilder(FnInit, 1)
+	b.Local("sa", 16)
+	b.Local("sa2", 16)
+	b.Local("lfd", 8)
+	b.Local("w", 8)
+
+	// Master pool + config mappings.
+	cfg := b.Call("mmap", ir.Imm(0), ir.Imm(65536), ir.Imm(kernel.ProtRead|kernel.ProtWrite),
+		ir.Imm(kernel.MapPrivate|kernel.MapAnonymous), ir.Imm(-1), ir.Imm(0))
+	b.Local("cfg", 8)
+	b.StoreLocal("cfg", ir.R(cfg))
+	cfg2 := b.LoadLocal("cfg")
+	b.Call("mprotect", ir.R(cfg2), ir.Imm(8192), ir.Imm(kernel.ProtRead))
+
+	// Upgrade binary path and exec context (Listing 1 data).
+	up := b.GlobalLea("upgrade_path", 0)
+	storeBytes(b, up, 0, "/usr/sbin/nginx")
+	ec := b.GlobalLea("exec_ctx", 0)
+	up2 := b.GlobalLea("upgrade_path", 0)
+	b.Store(ec, 0, ir.R(up2), 8)
+	ec2 := b.GlobalLea("exec_ctx", 0)
+	b.Store(ec2, 8, ir.Imm(0), 8)
+	ec3 := b.GlobalLea("exec_ctx", 0)
+	b.Store(ec3, 16, ir.Imm(0), 8)
+
+	// Spawn callback table: slot 0 = ngx_execute_proc (address-taken).
+	spt := b.GlobalLea("spawn_table", 0)
+	ep := b.FuncAddr(FnExecuteProc)
+	b.Store(spt, 0, ir.R(ep), 8)
+
+	// Output chain context: filter = ngx_chain_writer.
+	ccw := b.FuncAddr(FnChainWriter)
+	cc := b.GlobalLea("chain_ctx", 0)
+	b.Store(cc, 0, ir.R(ccw), 8)
+	cc2 := b.GlobalLea("chain_ctx", 0)
+	b.Store(cc2, 8, ir.Imm(0), 8)
+
+	// Indexed-variable handler table.
+	vh := b.GlobalLea("var_handlers", 0)
+	h0 := b.FuncAddr(FnVarHost)
+	b.Store(vh, 0, ir.R(h0), 8)
+	vh2 := b.GlobalLea("var_handlers", 0)
+	b.Store(vh2, 8, ir.Imm(1), 8) // data
+	vh3 := b.GlobalLea("var_handlers", 0)
+	h1 := b.FuncAddr(FnVarURI)
+	b.Store(vh3, varEntrySize, ir.R(h1), 8)
+	vh4 := b.GlobalLea("var_handlers", 0)
+	b.Store(vh4, varEntrySize+8, ir.Imm(2), 8)
+
+	// HTTP listener: socket/bind/listen (listen twice: http + backlog
+	// reconfiguration, matching the two listen calls in Table 4).
+	lfd := b.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+	b.StoreLocal("lfd", ir.R(lfd))
+	sa := sockaddrStores(b, "sa", Port)
+	lfd2 := b.LoadLocal("lfd")
+	b.Call("bind", ir.R(lfd2), ir.R(sa), ir.Imm(16))
+	lfd3 := b.LoadLocal("lfd")
+	b.Call("listen", ir.R(lfd3), ir.Imm(511))
+	lfd4 := b.LoadLocal("lfd")
+	b.Call("listen", ir.R(lfd4), ir.Imm(1024))
+	cyc := b.GlobalLea("ngx_cycle", 0)
+	lfd5 := b.LoadLocal("lfd")
+	b.Store(cyc, 0, ir.R(lfd5), 8)
+
+	// Workers.
+	b.StoreLocal("w", ir.Imm(0))
+	b.Label("workers")
+	wv := b.LoadLocal("w")
+	nw := b.LoadLocal("p0")
+	c := b.Bin(ir.OpLt, ir.R(wv), ir.R(nw))
+	done := b.Bin(ir.OpEq, ir.R(c), ir.Imm(0))
+	b.BranchNZ(ir.R(done), "workers_done")
+	wv2 := b.LoadLocal("w")
+	b.Call("ngx_worker_init", ir.R(wv2))
+	wv3 := b.LoadLocal("w")
+	inc := b.Bin(ir.OpAdd, ir.R(wv3), ir.Imm(1))
+	b.StoreLocal("w", ir.R(inc))
+	b.Jump("workers")
+	b.Label("workers_done")
+	lfd6 := b.LoadLocal("lfd")
+	b.Ret(ir.R(lfd6))
+	p.AddFunc(b.Build())
+}
+
+// addHandleRequest defines the steady-state request path: accept4, parse,
+// open/fstat/read the file, respond through the output chain, close.
+// Exactly one sensitive syscall (accept4) per request.
+func addHandleRequest(p *ir.Program) {
+	b := ir.NewBuilder(FnHandleRequest, 1)
+	b.Local("peer", 16)
+	b.Local("req", 256)
+	b.Local("path", 64)
+	b.Local("cfd", 8)
+	b.Local("ffd", 8)
+	b.Local("statbuf", 64)
+	b.Local("fbuf", 2048)
+	b.Local("chain", 24)
+	b.Local("total", 8)
+	b.Local("flen", 8)
+
+	b.StoreLocal("total", ir.Imm(0))
+	lfd := b.LoadLocal("p0")
+	peer := b.Lea("peer", 0)
+	cfd := b.Call("accept4", ir.R(lfd), ir.R(peer), ir.Imm(0), ir.Imm(0))
+	b.StoreLocal("cfd", ir.R(cfd))
+	// accept failure -> return -1.
+	bad := b.Bin(ir.OpLt, ir.R(cfd), ir.Imm(0))
+	b.BranchNZ(ir.R(bad), "fail")
+
+	// Read the request.
+	req := b.Lea("req", 0)
+	cfd1 := b.LoadLocal("cfd")
+	b.Call("read", ir.R(cfd1), ir.R(req), ir.Imm(255))
+
+	// Touch the indexed-variable machinery, as the request path does.
+	b.Call(FnIndexedVar, ir.Imm(0), ir.Imm(0))
+	b.Call(FnIndexedVar, ir.Imm(0), ir.Imm(1))
+
+	// Parse "GET <path> ..." -> path local gets "/srv" + file.
+	pa := b.Lea("path", 0)
+	b.Store(pa, 0, ir.Imm('/'), 1)
+	b.Store(pa, 1, ir.Imm('s'), 1)
+	b.Store(pa, 2, ir.Imm('r'), 1)
+	b.Store(pa, 3, ir.Imm('v'), 1)
+	// Copy from req[4] until space or end into path[4..].
+	b.Local("i", 8)
+	b.StoreLocal("i", ir.Imm(0))
+	b.Label("copy")
+	iv := b.LoadLocal("i")
+	lim := b.Bin(ir.OpLt, ir.R(iv), ir.Imm(48))
+	stop := b.Bin(ir.OpEq, ir.R(lim), ir.Imm(0))
+	b.BranchNZ(ir.R(stop), "copied")
+	req2 := b.Lea("req", 4)
+	iv2 := b.LoadLocal("i")
+	srca := b.Bin(ir.OpAdd, ir.R(req2), ir.R(iv2))
+	ch := b.Load(srca, 0, 1)
+	isSpace := b.Bin(ir.OpEq, ir.R(ch), ir.Imm(' '))
+	b.BranchNZ(ir.R(isSpace), "copied")
+	isNul := b.Bin(ir.OpEq, ir.R(ch), ir.Imm(0))
+	b.BranchNZ(ir.R(isNul), "copied")
+	pa2 := b.Lea("path", 4)
+	iv3 := b.LoadLocal("i")
+	dsta := b.Bin(ir.OpAdd, ir.R(pa2), ir.R(iv3))
+	b.Store(dsta, 0, ir.R(ch), 1)
+	iv4 := b.LoadLocal("i")
+	inc := b.Bin(ir.OpAdd, ir.R(iv4), ir.Imm(1))
+	b.StoreLocal("i", ir.R(inc))
+	b.Jump("copy")
+	b.Label("copied")
+	pa3 := b.Lea("path", 4)
+	iv5 := b.LoadLocal("i")
+	enda := b.Bin(ir.OpAdd, ir.R(pa3), ir.R(iv5))
+	b.Store(enda, 0, ir.Imm(0), 1)
+
+	// Open + fstat the file.
+	pa4 := b.Lea("path", 0)
+	ffd := b.Call("open", ir.R(pa4), ir.Imm(0), ir.Imm(0))
+	b.StoreLocal("ffd", ir.R(ffd))
+	badf := b.Bin(ir.OpLt, ir.R(ffd), ir.Imm(0))
+	b.BranchNZ(ir.R(badf), "close_conn")
+	sb := b.Lea("statbuf", 0)
+	ffd1 := b.LoadLocal("ffd")
+	b.Call("fstat", ir.R(ffd1), ir.R(sb))
+	sb2 := b.Lea("statbuf", 0)
+	flen := b.Load(sb2, 48, 8)
+	b.StoreLocal("flen", ir.R(flen))
+
+	// Stream the file through the output chain in 2 KiB chunks.
+	b.StoreLocal("total", ir.Imm(0))
+	b.Label("stream")
+	fb := b.Lea("fbuf", 0)
+	ffd2 := b.LoadLocal("ffd")
+	n := b.Call("read", ir.R(ffd2), ir.R(fb), ir.Imm(2048))
+	nz := b.Bin(ir.OpLe, ir.R(n), ir.Imm(0))
+	b.BranchNZ(ir.R(nz), "stream_done")
+	// chain = {cfd, fbuf, n}; ngx_output_chain(&chain).
+	chain := b.Lea("chain", 0)
+	cfd2 := b.LoadLocal("cfd")
+	b.Store(chain, 0, ir.R(cfd2), 8)
+	chain2 := b.Lea("chain", 0)
+	fb2 := b.Lea("fbuf", 0)
+	b.Store(chain2, 8, ir.R(fb2), 8)
+	chain3 := b.Lea("chain", 0)
+	b.Store(chain3, 16, ir.R(n), 8)
+	chain4 := b.Lea("chain", 0)
+	b.Call(FnOutputChain, ir.R(chain4))
+	tot := b.LoadLocal("total")
+	tot2 := b.Bin(ir.OpAdd, ir.R(tot), ir.R(n))
+	b.StoreLocal("total", ir.R(tot2))
+	b.Jump("stream")
+	b.Label("stream_done")
+	ffd3 := b.LoadLocal("ffd")
+	b.Call("close", ir.R(ffd3))
+
+	// Track served bytes.
+	bs := b.GlobalLea("bytes_served", 0)
+	old := b.Load(bs, 0, 8)
+	tot3 := b.LoadLocal("total")
+	sum := b.Bin(ir.OpAdd, ir.R(old), ir.R(tot3))
+	bs2 := b.GlobalLea("bytes_served", 0)
+	b.Store(bs2, 0, ir.R(sum), 8)
+
+	b.Label("close_conn")
+	cfd3 := b.LoadLocal("cfd")
+	b.Call("close", ir.R(cfd3))
+	tot4 := b.LoadLocal("total")
+	b.Ret(ir.R(tot4))
+	b.Label("fail")
+	b.Ret(ir.Imm(-1))
+	p.AddFunc(b.Build())
+}
+
+// addSpawn defines the process-spawn machinery: ngx_spawn_process invokes
+// a registered callback indirectly, and ngx_master_cycle triggers a binary
+// upgrade through it when the upgrade flag is set — the legitimate
+// indirect path to ngx_execute_proc.
+func addSpawn(p *ir.Program) {
+	sb := ir.NewBuilder(FnSpawnProcess, 1)
+	idx := sb.LoadLocal("p0")
+	tbl := sb.GlobalLea("spawn_table", 0)
+	scaled := sb.Bin(ir.OpMul, ir.R(idx), ir.Imm(8))
+	slot := sb.Bin(ir.OpAdd, ir.R(tbl), ir.R(scaled))
+	fn := sb.Load(slot, 0, 8)
+	cyc := sb.GlobalLea("ngx_cycle", 0)
+	ec := sb.GlobalLea("exec_ctx", 0)
+	r := sb.CallInd(fn, "i64(i64,i64)", ir.R(cyc), ir.R(ec))
+	sb.Ret(ir.R(r))
+	p.AddFunc(sb.Build())
+
+	mb := ir.NewBuilder(FnMasterCycle, 0)
+	flag := mb.GlobalLea("upgrade_requested", 0)
+	fv := mb.Load(flag, 0, 8)
+	z := mb.Bin(ir.OpEq, ir.R(fv), ir.Imm(0))
+	mb.BranchNZ(ir.R(z), "idle")
+	r2 := mb.Call(FnSpawnProcess, ir.Imm(0))
+	mb.Ret(ir.R(r2))
+	mb.Label("idle")
+	mb.Ret(ir.Imm(0))
+	p.AddFunc(mb.Build())
+}
+
+// addMasterUpgrade defines the rarely used binary-upgrade path: the only
+// legitimate caller of ngx_execute_proc (Listing 1).
+func addMasterUpgrade(p *ir.Program) {
+	b := ir.NewBuilder(FnMasterUpgrade, 0)
+	cyc := b.GlobalLea("ngx_cycle", 0)
+	ec := b.GlobalLea("exec_ctx", 0)
+	r := b.Call(FnExecuteProc, ir.R(cyc), ir.R(ec))
+	b.Ret(ir.R(r))
+	p.AddFunc(b.Build())
+}
+
+func addMain(p *ir.Program) {
+	b := ir.NewBuilder("main", 0)
+	lfd := b.Call(FnInit, ir.Imm(2))
+	b.Call(FnHandleRequest, ir.R(lfd))
+	b.Call("exit_group", ir.Imm(0))
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+}

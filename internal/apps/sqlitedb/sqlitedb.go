@@ -1,0 +1,341 @@
+// Package sqlitedb builds the guest transactional database engine used in
+// the paper's evaluation (SQLite under the DBT2 new-order workload). The
+// storage engine is an open-addressing row table in an mmap'd region; each
+// transaction parses a NEWORDER command, upserts order/orderline/stock
+// rows, appends a journal record, and periodically re-protects page-cache
+// pages — giving the mprotect-heavy steady-state profile Table 4 reports
+// for SQLite.
+package sqlitedb
+
+import (
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+)
+
+// Port is the database server port.
+const Port = 5432
+
+// Table geometry: 32-byte rows in a 128 KiB region.
+const (
+	rowSize   = 32
+	tableCap  = 4096
+	tableSize = rowSize * tableCap
+)
+
+// MprotectPeriod: one page-cache reprotect cycle every N transactions,
+// producing SQLite's characteristic mprotect density.
+const MprotectPeriod = 4
+
+// Function names for drivers and attacks.
+const (
+	FnInit   = "db_init"
+	FnAccept = "db_accept"
+	FnTxn    = "db_txn"
+	FnUpsert = "db_upsert"
+)
+
+// Build assembles the guest program.
+func Build() *ir.Program {
+	p := guestlibc.NewProgram()
+	// db_state: [0]=listen fd, [8]=table base, [16]=journal fd,
+	// [24]=page cache base, [32]=txn counter.
+	p.AddGlobal(&ir.Global{Name: "db_state", Size: 40})
+
+	addUpsert(p)
+	addInit(p)
+	addAccept(p)
+	addTxn(p)
+	addMain(p)
+	return p
+}
+
+func sockaddrStores(b *ir.Builder, local string, port int64) ir.Reg {
+	sa := b.Lea(local, 0)
+	b.Store(sa, 0, ir.Imm(2), 2)
+	b.Store(sa, 2, ir.Imm(port>>8), 1)
+	b.Store(sa, 3, ir.Imm(port&0xff), 1)
+	return sa
+}
+
+func storeBytes(b *ir.Builder, addr ir.Reg, off int64, s string) {
+	for i := 0; i < len(s); i++ {
+		b.Store(addr, off+int64(i), ir.Imm(int64(s[i])), 1)
+	}
+	b.Store(addr, off+int64(len(s)), ir.Imm(0), 1)
+}
+
+// addUpsert defines db_upsert(key, qty): linear-probe insert/update into
+// the row table; returns the row's new total.
+func addUpsert(p *ir.Program) {
+	b := ir.NewBuilder(FnUpsert, 2)
+	b.Local("slot", 8)
+	st := b.GlobalLea("db_state", 0)
+	base := b.Load(st, 8, 8)
+	b.Local("base", 8)
+	b.StoreLocal("base", ir.R(base))
+
+	key := b.LoadLocal("p0")
+	h := b.Bin(ir.OpMul, ir.R(key), ir.Imm(0x9e3779b1))
+	slot0 := b.Bin(ir.OpMod, ir.R(h), ir.Imm(tableCap))
+	b.StoreLocal("slot", ir.R(slot0))
+
+	b.Label("probe")
+	sl := b.LoadLocal("slot")
+	off := b.Bin(ir.OpMul, ir.R(sl), ir.Imm(rowSize))
+	bse := b.LoadLocal("base")
+	rowp := b.Bin(ir.OpAdd, ir.R(bse), ir.R(off))
+	rkey := b.Load(rowp, 0, 8)
+	k2 := b.LoadLocal("p0")
+	hit := b.Bin(ir.OpEq, ir.R(rkey), ir.R(k2))
+	b.BranchNZ(ir.R(hit), "update")
+	empty := b.Bin(ir.OpEq, ir.R(rkey), ir.Imm(0))
+	b.BranchNZ(ir.R(empty), "insert")
+	sl2 := b.LoadLocal("slot")
+	next := b.Bin(ir.OpAdd, ir.R(sl2), ir.Imm(1))
+	wrap := b.Bin(ir.OpMod, ir.R(next), ir.Imm(tableCap))
+	b.StoreLocal("slot", ir.R(wrap))
+	b.Jump("probe")
+
+	b.Label("insert")
+	k3 := b.LoadLocal("p0")
+	b.Store(rowp, 0, ir.R(k3), 8)
+	b.Store(rowp, 8, ir.Imm(0), 8)
+	b.Store(rowp, 16, ir.Imm(0), 8)
+
+	b.Label("update")
+	qty := b.LoadLocal("p1")
+	oldq := b.Load(rowp, 8, 8)
+	newq := b.Bin(ir.OpAdd, ir.R(oldq), ir.R(qty))
+	b.Store(rowp, 8, ir.R(newq), 8)
+	oldt := b.Load(rowp, 16, 8)
+	newt := b.Bin(ir.OpAdd, ir.R(oldt), ir.Imm(1))
+	b.Store(rowp, 16, ir.R(newt), 8)
+	b.Ret(ir.R(newq))
+	p.AddFunc(b.Build())
+}
+
+// addInit defines db_init(workers): page cache + row table mappings, the
+// journal file, the listener, and worker clones.
+func addInit(p *ir.Program) {
+	b := ir.NewBuilder(FnInit, 1)
+	b.Local("sa", 16)
+	b.Local("jpath", 32)
+	b.Local("i", 8)
+	b.Local("lfd", 8)
+
+	// Row table region.
+	tbl := b.Call("mmap", ir.Imm(0), ir.Imm(tableSize), ir.Imm(kernel.ProtRead|kernel.ProtWrite),
+		ir.Imm(kernel.MapPrivate|kernel.MapAnonymous), ir.Imm(-1), ir.Imm(0))
+	st := b.GlobalLea("db_state", 0)
+	b.Store(st, 8, ir.R(tbl), 8)
+
+	// Page cache: 8 mappings; remember the first.
+	b.StoreLocal("i", ir.Imm(0))
+	b.Label("cache")
+	iv := b.LoadLocal("i")
+	c := b.Bin(ir.OpLt, ir.R(iv), ir.Imm(8))
+	done := b.Bin(ir.OpEq, ir.R(c), ir.Imm(0))
+	b.BranchNZ(ir.R(done), "cache_done")
+	pc := b.Call("mmap", ir.Imm(0), ir.Imm(32768), ir.Imm(kernel.ProtRead|kernel.ProtWrite),
+		ir.Imm(kernel.MapPrivate|kernel.MapAnonymous), ir.Imm(-1), ir.Imm(0))
+	iv1 := b.LoadLocal("i")
+	first := b.Bin(ir.OpNe, ir.R(iv1), ir.Imm(0))
+	b.BranchNZ(ir.R(first), "not_first")
+	st2 := b.GlobalLea("db_state", 0)
+	b.Store(st2, 24, ir.R(pc), 8)
+	b.Label("not_first")
+	iv2 := b.LoadLocal("i")
+	inc := b.Bin(ir.OpAdd, ir.R(iv2), ir.Imm(1))
+	b.StoreLocal("i", ir.R(inc))
+	b.Jump("cache")
+	b.Label("cache_done")
+
+	// Journal.
+	jp := b.Lea("jpath", 0)
+	storeBytes(b, jp, 0, "/var/db/journal")
+	jp2 := b.Lea("jpath", 0)
+	jfd := b.Call("open", ir.R(jp2), ir.Imm(0x42 /*O_RDWR|O_CREAT*/), ir.Imm(6))
+	st3 := b.GlobalLea("db_state", 0)
+	b.Store(st3, 16, ir.R(jfd), 8)
+
+	// Listener.
+	lfd := b.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+	b.StoreLocal("lfd", ir.R(lfd))
+	sa := sockaddrStores(b, "sa", Port)
+	lfd1 := b.LoadLocal("lfd")
+	b.Call("bind", ir.R(lfd1), ir.R(sa), ir.Imm(16))
+	lfd2 := b.LoadLocal("lfd")
+	b.Call("listen", ir.R(lfd2), ir.Imm(128))
+	st4 := b.GlobalLea("db_state", 0)
+	lfd3 := b.LoadLocal("lfd")
+	b.Store(st4, 0, ir.R(lfd3), 8)
+
+	// Worker threads.
+	b.StoreLocal("i", ir.Imm(0))
+	b.Label("workers")
+	iv3 := b.LoadLocal("i")
+	nw := b.LoadLocal("p0")
+	c2 := b.Bin(ir.OpLt, ir.R(iv3), ir.R(nw))
+	done2 := b.Bin(ir.OpEq, ir.R(c2), ir.Imm(0))
+	b.BranchNZ(ir.R(done2), "workers_done")
+	b.Call("clone", ir.Imm(0x11))
+	iv4 := b.LoadLocal("i")
+	inc2 := b.Bin(ir.OpAdd, ir.R(iv4), ir.Imm(1))
+	b.StoreLocal("i", ir.R(inc2))
+	b.Jump("workers")
+	b.Label("workers_done")
+	lfd4 := b.LoadLocal("lfd")
+	b.Ret(ir.R(lfd4))
+	p.AddFunc(b.Build())
+}
+
+// addAccept defines db_accept(lfd) -> connection fd.
+func addAccept(p *ir.Program) {
+	b := ir.NewBuilder(FnAccept, 1)
+	b.Local("peer", 16)
+	lfd := b.LoadLocal("p0")
+	peer := b.Lea("peer", 0)
+	cfd := b.Call("accept", ir.R(lfd), ir.R(peer), ir.Imm(0))
+	b.Ret(ir.R(cfd))
+	p.AddFunc(b.Build())
+}
+
+// addTxn defines db_txn(cfd): parse "NEWORDER <id> <qty>", upsert three
+// rows, journal the transaction, periodically recycle page-cache
+// protection, respond "OK".
+func addTxn(p *ir.Program) {
+	b := ir.NewBuilder(FnTxn, 1)
+	b.Local("query", 128)
+	b.Local("resp", 8)
+	b.Local("jrec", 24)
+	b.Local("id", 8)
+	b.Local("qty", 8)
+	b.Local("i", 8)
+	b.Local("prot", 8)
+
+	cfd := b.LoadLocal("p0")
+	q := b.Lea("query", 0)
+	b.Call("read", ir.R(cfd), ir.R(q), ir.Imm(127))
+
+	// Parse the id after "NEWORDER " (offset 9) and qty after the space.
+	b.StoreLocal("id", ir.Imm(0))
+	b.StoreLocal("qty", ir.Imm(0))
+	b.StoreLocal("i", ir.Imm(9))
+	b.Label("pid")
+	q1 := b.Lea("query", 0)
+	iv := b.LoadLocal("i")
+	ca := b.Bin(ir.OpAdd, ir.R(q1), ir.R(iv))
+	ch := b.Load(ca, 0, 1)
+	isD := b.Bin(ir.OpGe, ir.R(ch), ir.Imm('0'))
+	b.BranchNZ(ir.R(isD), "pid_digit")
+	b.Jump("pid_done")
+	b.Label("pid_digit")
+	isD2 := b.Bin(ir.OpLe, ir.R(ch), ir.Imm('9'))
+	notD := b.Bin(ir.OpEq, ir.R(isD2), ir.Imm(0))
+	b.BranchNZ(ir.R(notD), "pid_done")
+	idv := b.LoadLocal("id")
+	m := b.Bin(ir.OpMul, ir.R(idv), ir.Imm(10))
+	d := b.Bin(ir.OpSub, ir.R(ch), ir.Imm('0'))
+	sum := b.Bin(ir.OpAdd, ir.R(m), ir.R(d))
+	b.StoreLocal("id", ir.R(sum))
+	iv2 := b.LoadLocal("i")
+	inc := b.Bin(ir.OpAdd, ir.R(iv2), ir.Imm(1))
+	b.StoreLocal("i", ir.R(inc))
+	b.Jump("pid")
+	b.Label("pid_done")
+	// qty after one separator char.
+	iv3 := b.LoadLocal("i")
+	inc2 := b.Bin(ir.OpAdd, ir.R(iv3), ir.Imm(1))
+	b.StoreLocal("i", ir.R(inc2))
+	b.Label("pq")
+	q2 := b.Lea("query", 0)
+	iv4 := b.LoadLocal("i")
+	ca2 := b.Bin(ir.OpAdd, ir.R(q2), ir.R(iv4))
+	ch2 := b.Load(ca2, 0, 1)
+	ge := b.Bin(ir.OpGe, ir.R(ch2), ir.Imm('0'))
+	le := b.Bin(ir.OpLe, ir.R(ch2), ir.Imm('9'))
+	both := b.Bin(ir.OpAnd, ir.R(ge), ir.R(le))
+	nd := b.Bin(ir.OpEq, ir.R(both), ir.Imm(0))
+	b.BranchNZ(ir.R(nd), "pq_done")
+	qv := b.LoadLocal("qty")
+	m2 := b.Bin(ir.OpMul, ir.R(qv), ir.Imm(10))
+	d2 := b.Bin(ir.OpSub, ir.R(ch2), ir.Imm('0'))
+	sum2 := b.Bin(ir.OpAdd, ir.R(m2), ir.R(d2))
+	b.StoreLocal("qty", ir.R(sum2))
+	iv5 := b.LoadLocal("i")
+	inc3 := b.Bin(ir.OpAdd, ir.R(iv5), ir.Imm(1))
+	b.StoreLocal("i", ir.R(inc3))
+	b.Jump("pq")
+	b.Label("pq_done")
+
+	// Upserts: order row, order-line row, stock row.
+	id1 := b.LoadLocal("id")
+	q3 := b.LoadLocal("qty")
+	b.Call(FnUpsert, ir.R(id1), ir.R(q3))
+	id2 := b.LoadLocal("id")
+	ol := b.Bin(ir.OpAdd, ir.R(id2), ir.Imm(1_000_000))
+	q4 := b.LoadLocal("qty")
+	b.Call(FnUpsert, ir.R(ol), ir.R(q4))
+	id3 := b.LoadLocal("id")
+	stk := b.Bin(ir.OpAdd, ir.R(id3), ir.Imm(2_000_000))
+	b.Call(FnUpsert, ir.R(stk), ir.Imm(1))
+
+	// Journal record {id, qty, marker}.
+	jr := b.Lea("jrec", 0)
+	id4 := b.LoadLocal("id")
+	b.Store(jr, 0, ir.R(id4), 8)
+	jr2 := b.Lea("jrec", 0)
+	q5 := b.LoadLocal("qty")
+	b.Store(jr2, 8, ir.R(q5), 8)
+	jr3 := b.Lea("jrec", 0)
+	b.Store(jr3, 16, ir.Imm(0x5a5a), 8)
+	st := b.GlobalLea("db_state", 0)
+	jfd := b.Load(st, 16, 8)
+	jr4 := b.Lea("jrec", 0)
+	b.Call("write", ir.R(jfd), ir.R(jr4), ir.Imm(24))
+
+	// Periodic page-cache protection cycle: every MprotectPeriod txns,
+	// harden a cache page read-only and release it again.
+	st2 := b.GlobalLea("db_state", 0)
+	cnt := b.Load(st2, 32, 8)
+	cnt2 := b.Bin(ir.OpAdd, ir.R(cnt), ir.Imm(1))
+	st3 := b.GlobalLea("db_state", 0)
+	b.Store(st3, 32, ir.R(cnt2), 8)
+	rem := b.Bin(ir.OpMod, ir.R(cnt2), ir.Imm(MprotectPeriod))
+	skip := b.Bin(ir.OpNe, ir.R(rem), ir.Imm(0))
+	b.BranchNZ(ir.R(skip), "no_protect")
+	b.StoreLocal("prot", ir.Imm(kernel.ProtRead))
+	st4 := b.GlobalLea("db_state", 0)
+	pcb := b.Load(st4, 24, 8)
+	b.Local("pcb", 8)
+	b.StoreLocal("pcb", ir.R(pcb))
+	pr := b.LoadLocal("prot")
+	b.Call("mprotect", ir.R(pcb), ir.Imm(4096), ir.R(pr))
+	b.StoreLocal("prot", ir.Imm(kernel.ProtRead|kernel.ProtWrite))
+	pcb2 := b.LoadLocal("pcb")
+	pr2 := b.LoadLocal("prot")
+	b.Call("mprotect", ir.R(pcb2), ir.Imm(4096), ir.R(pr2))
+	b.Label("no_protect")
+
+	// Respond.
+	rp := b.Lea("resp", 0)
+	b.Store(rp, 0, ir.Imm('O'), 1)
+	b.Store(rp, 1, ir.Imm('K'), 1)
+	cfd2 := b.LoadLocal("p0")
+	rp2 := b.Lea("resp", 0)
+	b.Call("write", ir.R(cfd2), ir.R(rp2), ir.Imm(2))
+	id5 := b.LoadLocal("id")
+	b.Ret(ir.R(id5))
+	p.AddFunc(b.Build())
+}
+
+func addMain(p *ir.Program) {
+	b := ir.NewBuilder("main", 0)
+	lfd := b.Call(FnInit, ir.Imm(2))
+	cfd := b.Call(FnAccept, ir.R(lfd))
+	b.Call(FnTxn, ir.R(cfd))
+	b.Call("exit_group", ir.Imm(0))
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+}

@@ -1,0 +1,290 @@
+// Package vsftpd builds the guest FTP server of the paper's evaluation:
+// session-oriented control connections with per-transfer passive-mode data
+// sockets, giving the socket/bind/listen/accept-heavy steady-state profile
+// Table 4 reports for vsFTPd, plus the dkftpbench-style file downloads the
+// benchmark drives.
+package vsftpd
+
+import (
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+)
+
+// ControlPort is the FTP control port.
+const ControlPort = 21
+
+// DataPortBase is the first passive-mode data port.
+const DataPortBase = 30000
+
+// Function names for drivers and attacks.
+const (
+	FnInit    = "ftp_init"
+	FnSession = "ftp_session_open"
+	FnPasv    = "ftp_pasv"
+	FnRetr    = "ftp_retr"
+	FnPort    = "ftp_port_retr"
+)
+
+// Build assembles the guest program.
+func Build() *ir.Program {
+	p := guestlibc.NewProgram()
+	// ftp_state: [0]=control lfd, [8]=data lfd, [16]=session uid counter.
+	p.AddGlobal(&ir.Global{Name: "ftp_state", Size: 24})
+	// File served to clients; path built at init.
+	p.AddGlobal(&ir.Global{Name: "pub_path", Size: 32})
+
+	addInit(p)
+	addSession(p)
+	addPasv(p)
+	addRetr(p)
+	addPortRetr(p)
+	addMain(p)
+	return p
+}
+
+func sockaddrStores(b *ir.Builder, local string, portReg ir.Reg) ir.Reg {
+	sa := b.Lea(local, 0)
+	b.Store(sa, 0, ir.Imm(2), 2)
+	hi := b.Bin(ir.OpShr, ir.R(portReg), ir.Imm(8))
+	b.Store(sa, 2, ir.R(hi), 1)
+	lo := b.Bin(ir.OpAnd, ir.R(portReg), ir.Imm(0xff))
+	b.Store(sa, 3, ir.R(lo), 1)
+	return sa
+}
+
+func storeBytes(b *ir.Builder, addr ir.Reg, off int64, s string) {
+	for i := 0; i < len(s); i++ {
+		b.Store(addr, off+int64(i), ir.Imm(int64(s[i])), 1)
+	}
+	b.Store(addr, off+int64(len(s)), ir.Imm(0), 1)
+}
+
+// addInit defines ftp_init(): control listener, privilege drop, pools.
+func addInit(p *ir.Program) {
+	b := ir.NewBuilder(FnInit, 0)
+	b.Local("sa", 16)
+	b.Local("lfd", 8)
+
+	// Session pools.
+	b.Call("mmap", ir.Imm(0), ir.Imm(32768), ir.Imm(kernel.ProtRead|kernel.ProtWrite),
+		ir.Imm(kernel.MapPrivate|kernel.MapAnonymous), ir.Imm(-1), ir.Imm(0))
+	cfgp := b.Call("mmap", ir.Imm(0), ir.Imm(8192), ir.Imm(kernel.ProtRead|kernel.ProtWrite),
+		ir.Imm(kernel.MapPrivate|kernel.MapAnonymous), ir.Imm(-1), ir.Imm(0))
+	b.Call("mprotect", ir.R(cfgp), ir.Imm(4096), ir.Imm(kernel.ProtRead))
+
+	// Served file path.
+	pp := b.GlobalLea("pub_path", 0)
+	storeBytes(b, pp, 0, "/pub/file.bin")
+
+	// Control listener.
+	lfd := b.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+	b.StoreLocal("lfd", ir.R(lfd))
+	pr := b.Const(ControlPort)
+	sa := sockaddrStores(b, "sa", pr)
+	lfd1 := b.LoadLocal("lfd")
+	b.Call("bind", ir.R(lfd1), ir.R(sa), ir.Imm(16))
+	lfd2 := b.LoadLocal("lfd")
+	b.Call("listen", ir.R(lfd2), ir.Imm(64))
+	st := b.GlobalLea("ftp_state", 0)
+	lfd3 := b.LoadLocal("lfd")
+	b.Store(st, 0, ir.R(lfd3), 8)
+
+	// Privilege drop + helper process.
+	b.Call("setuid", ir.Imm(99))
+	b.Call("setgid", ir.Imm(99))
+	b.Call("clone", ir.Imm(0x11))
+
+	lfd4 := b.LoadLocal("lfd")
+	b.Ret(ir.R(lfd4))
+	p.AddFunc(b.Build())
+}
+
+// addSession defines ftp_session_open(lfd): accept a control connection,
+// read the login command into a fixed 64-byte buffer (the overflow surface
+// the ROP case studies exploit), apply per-session credentials, greet.
+func addSession(p *ir.Program) {
+	b := ir.NewBuilder(FnSession, 1)
+	b.Local("peer", 16)
+	b.Local("cmd", 64)
+	b.Local("cfd", 8)
+
+	lfd := b.LoadLocal("p0")
+	peer := b.Lea("peer", 0)
+	cfd := b.Call("accept", ir.R(lfd), ir.R(peer), ir.Imm(0))
+	b.StoreLocal("cfd", ir.R(cfd))
+	bad := b.Bin(ir.OpLt, ir.R(cfd), ir.Imm(0))
+	b.BranchNZ(ir.R(bad), "fail")
+
+	// VULNERABILITY (CVE-style): reads up to 256 bytes into cmd[64].
+	cmd := b.Lea("cmd", 0)
+	cfd1 := b.LoadLocal("cfd")
+	b.Call("read", ir.R(cfd1), ir.R(cmd), ir.Imm(256))
+
+	// Per-session credential switch.
+	b.Call("setuid", ir.Imm(1001))
+	b.Call("setgid", ir.Imm(1001))
+
+	// "230 login ok"
+	cmd2 := b.Lea("cmd", 0)
+	b.Store(cmd2, 0, ir.Imm('2'), 1)
+	b.Store(cmd2, 1, ir.Imm('3'), 1)
+	b.Store(cmd2, 2, ir.Imm('0'), 1)
+	cfd2 := b.LoadLocal("cfd")
+	cmd3 := b.Lea("cmd", 0)
+	b.Call("write", ir.R(cfd2), ir.R(cmd3), ir.Imm(3))
+	cfd3 := b.LoadLocal("cfd")
+	b.Ret(ir.R(cfd3))
+	b.Label("fail")
+	b.Ret(ir.Imm(-1))
+	p.AddFunc(b.Build())
+}
+
+// addPasv defines ftp_pasv(ctrlfd, port): open a passive data listener and
+// announce it on the control connection.
+func addPasv(p *ir.Program) {
+	b := ir.NewBuilder(FnPasv, 2)
+	b.Local("sa", 16)
+	b.Local("dfd", 8)
+	b.Local("resp", 8)
+
+	dfd := b.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+	b.StoreLocal("dfd", ir.R(dfd))
+	port := b.LoadLocal("p1")
+	sa := sockaddrStores(b, "sa", port)
+	dfd1 := b.LoadLocal("dfd")
+	b.Call("bind", ir.R(dfd1), ir.R(sa), ir.Imm(16))
+	dfd2 := b.LoadLocal("dfd")
+	b.Call("listen", ir.R(dfd2), ir.Imm(1))
+	st := b.GlobalLea("ftp_state", 0)
+	dfd3 := b.LoadLocal("dfd")
+	b.Store(st, 8, ir.R(dfd3), 8)
+
+	// "227" on control.
+	rp := b.Lea("resp", 0)
+	b.Store(rp, 0, ir.Imm('2'), 1)
+	b.Store(rp, 1, ir.Imm('2'), 1)
+	b.Store(rp, 2, ir.Imm('7'), 1)
+	ctrl := b.LoadLocal("p0")
+	rp2 := b.Lea("resp", 0)
+	b.Call("write", ir.R(ctrl), ir.R(rp2), ir.Imm(3))
+	dfd4 := b.LoadLocal("dfd")
+	b.Ret(ir.R(dfd4))
+	p.AddFunc(b.Build())
+}
+
+// addRetr defines ftp_retr(ctrlfd): accept the pending data connection,
+// stream the published file via sendfile, close, confirm.
+func addRetr(p *ir.Program) {
+	b := ir.NewBuilder(FnRetr, 1)
+	b.Local("peer", 16)
+	b.Local("datafd", 8)
+	b.Local("ffd", 8)
+	b.Local("total", 8)
+	b.Local("resp", 8)
+
+	b.StoreLocal("total", ir.Imm(0))
+	st := b.GlobalLea("ftp_state", 0)
+	dlfd := b.Load(st, 8, 8)
+	peer := b.Lea("peer", 0)
+	datafd := b.Call("accept", ir.R(dlfd), ir.R(peer), ir.Imm(0))
+	b.StoreLocal("datafd", ir.R(datafd))
+	bad := b.Bin(ir.OpLt, ir.R(datafd), ir.Imm(0))
+	b.BranchNZ(ir.R(bad), "fail")
+
+	pp := b.GlobalLea("pub_path", 0)
+	ffd := b.Call("open", ir.R(pp), ir.Imm(0), ir.Imm(0))
+	b.StoreLocal("ffd", ir.R(ffd))
+	badf := b.Bin(ir.OpLt, ir.R(ffd), ir.Imm(0))
+	b.BranchNZ(ir.R(badf), "close_data")
+
+	b.Label("stream")
+	dfd := b.LoadLocal("datafd")
+	ffd1 := b.LoadLocal("ffd")
+	n := b.Call("sendfile", ir.R(dfd), ir.R(ffd1), ir.Imm(0), ir.Imm(65536))
+	nz := b.Bin(ir.OpLe, ir.R(n), ir.Imm(0))
+	b.BranchNZ(ir.R(nz), "stream_done")
+	tot := b.LoadLocal("total")
+	sum := b.Bin(ir.OpAdd, ir.R(tot), ir.R(n))
+	b.StoreLocal("total", ir.R(sum))
+	b.Jump("stream")
+	b.Label("stream_done")
+	ffd2 := b.LoadLocal("ffd")
+	b.Call("close", ir.R(ffd2))
+
+	b.Label("close_data")
+	dfd2 := b.LoadLocal("datafd")
+	b.Call("close", ir.R(dfd2))
+	// Close the data listener too (one listener per transfer, as vsftpd).
+	st2 := b.GlobalLea("ftp_state", 0)
+	dlfd2 := b.Load(st2, 8, 8)
+	b.Call("close", ir.R(dlfd2))
+	// "226 done" on control.
+	rp := b.Lea("resp", 0)
+	b.Store(rp, 0, ir.Imm('2'), 1)
+	b.Store(rp, 1, ir.Imm('2'), 1)
+	b.Store(rp, 2, ir.Imm('6'), 1)
+	ctrl := b.LoadLocal("p0")
+	rp2 := b.Lea("resp", 0)
+	b.Call("write", ir.R(ctrl), ir.R(rp2), ir.Imm(3))
+	tot2 := b.LoadLocal("total")
+	b.Ret(ir.R(tot2))
+	b.Label("fail")
+	b.Ret(ir.Imm(-1))
+	p.AddFunc(b.Build())
+}
+
+// addPortRetr defines ftp_port_retr(ctrlfd, port): active-mode transfer —
+// the server connects out to the client's data port and streams the file.
+func addPortRetr(p *ir.Program) {
+	b := ir.NewBuilder(FnPort, 2)
+	b.Local("sa", 16)
+	b.Local("datafd", 8)
+	b.Local("ffd", 8)
+	b.Local("total", 8)
+
+	b.StoreLocal("total", ir.Imm(0))
+	dfd := b.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+	b.StoreLocal("datafd", ir.R(dfd))
+	port := b.LoadLocal("p1")
+	sa := sockaddrStores(b, "sa", port)
+	dfd1 := b.LoadLocal("datafd")
+	r := b.Call("connect", ir.R(dfd1), ir.R(sa), ir.Imm(16))
+	bad := b.Bin(ir.OpLt, ir.R(r), ir.Imm(0))
+	b.BranchNZ(ir.R(bad), "fail")
+
+	pp := b.GlobalLea("pub_path", 0)
+	ffd := b.Call("open", ir.R(pp), ir.Imm(0), ir.Imm(0))
+	b.StoreLocal("ffd", ir.R(ffd))
+	b.Label("stream")
+	dfd2 := b.LoadLocal("datafd")
+	ffd1 := b.LoadLocal("ffd")
+	n := b.Call("sendfile", ir.R(dfd2), ir.R(ffd1), ir.Imm(0), ir.Imm(65536))
+	nz := b.Bin(ir.OpLe, ir.R(n), ir.Imm(0))
+	b.BranchNZ(ir.R(nz), "done")
+	tot := b.LoadLocal("total")
+	sum := b.Bin(ir.OpAdd, ir.R(tot), ir.R(n))
+	b.StoreLocal("total", ir.R(sum))
+	b.Jump("stream")
+	b.Label("done")
+	ffd2 := b.LoadLocal("ffd")
+	b.Call("close", ir.R(ffd2))
+	dfd3 := b.LoadLocal("datafd")
+	b.Call("close", ir.R(dfd3))
+	tot2 := b.LoadLocal("total")
+	b.Ret(ir.R(tot2))
+	b.Label("fail")
+	b.Ret(ir.Imm(-1))
+	p.AddFunc(b.Build())
+}
+
+func addMain(p *ir.Program) {
+	b := ir.NewBuilder("main", 0)
+	lfd := b.Call(FnInit)
+	cfd := b.Call(FnSession, ir.R(lfd))
+	b.Call(FnPasv, ir.R(cfd), ir.Imm(DataPortBase))
+	b.Call(FnRetr, ir.R(cfd))
+	b.Call("exit_group", ir.Imm(0))
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+}

@@ -1,0 +1,110 @@
+package attacks
+
+import (
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+)
+
+// buildApache assembles the minimal Apache-like guest used by the AOCR
+// Apache case study (§10.3): exec_cmd legitimately reaches execve and is
+// legitimately address-taken (registered in an exec hook), while a second,
+// differently-typed logging hook provides the corruptible indirect
+// callsite the attack hijacks.
+func buildApache() *ir.Program {
+	p := guestlibc.NewProgram()
+	// exec_hook / log_hook: registered callback pointers.
+	p.AddGlobal(&ir.Global{Name: "exec_hook", Size: 8})
+	p.AddGlobal(&ir.Global{Name: "log_hook", Size: 8})
+	// execline: the command line the server legitimately executes.
+	p.AddGlobal(&ir.Global{Name: "execline", Size: 32})
+	// logbuf: log staging area (attacker-writable data).
+	p.AddGlobal(&ir.Global{Name: "logbuf", Size: 64})
+
+	// exec_cmd(cmdline): execve(cmdline, 0, 0). Sig i64(i64).
+	ec := ir.NewBuilder("exec_cmd", 1)
+	cmd := ec.LoadLocal("p0")
+	r := ec.Call("execve", ir.R(cmd), ir.Imm(0), ir.Imm(0))
+	ec.Ret(ir.R(r))
+	p.AddFunc(ec.Build())
+
+	// ap_log_write(msg, n): write(2, msg, n). Sig i64(i64,i64).
+	lw := ir.NewBuilder("ap_log_write", 2)
+	msg := lw.LoadLocal("p0")
+	n := lw.LoadLocal("p1")
+	r2 := lw.Call("write", ir.Imm(2), ir.R(msg), ir.R(n))
+	lw.Ret(ir.R(r2))
+	p.AddFunc(lw.Build())
+
+	// ap_run_exec(cmdline): dispatch through exec_hook. Callsite sig
+	// i64(i64) — the class containing exec_cmd.
+	re := ir.NewBuilder("ap_run_exec", 1)
+	h := re.GlobalLea("exec_hook", 0)
+	fn := re.Load(h, 0, 8)
+	arg := re.LoadLocal("p0")
+	r3 := re.CallInd(fn, "i64(i64)", ir.R(arg))
+	re.Ret(ir.R(r3))
+	p.AddFunc(re.Build())
+
+	// ap_run_log(msg, n): dispatch through log_hook. Callsite sig
+	// i64(i64,i64) — a class that cannot legitimately reach execve.
+	rl := ir.NewBuilder("ap_run_log", 2)
+	h2 := rl.GlobalLea("log_hook", 0)
+	fn2 := rl.Load(h2, 0, 8)
+	a0 := rl.LoadLocal("p0")
+	a1 := rl.LoadLocal("p1")
+	r4 := rl.CallInd(fn2, "i64(i64,i64)", ir.R(a0), ir.R(a1))
+	rl.Ret(ir.R(r4))
+	p.AddFunc(rl.Build())
+
+	// ap_build_execline(): write the legitimate command line (shared by
+	// both exec paths, so the origin is statically traceable from each).
+	bl := ir.NewBuilder("ap_build_execline", 0)
+	el := bl.GlobalLea("execline", 0)
+	line := "/usr/bin/apachectl"
+	for i := 0; i < len(line); i++ {
+		bl.Store(el, int64(i), ir.Imm(int64(line[i])), 1)
+	}
+	bl.Store(el, int64(len(line)), ir.Imm(0), 1)
+	bl.Ret(ir.Imm(0))
+	p.AddFunc(bl.Build())
+
+	// ap_get_exec_line(): build the command and run it through the exec
+	// hook (the function AOCR targets).
+	gl := ir.NewBuilder("ap_get_exec_line", 0)
+	gl.Call("ap_build_execline")
+	el2 := gl.GlobalLea("execline", 0)
+	r5 := gl.Call("ap_run_exec", ir.R(el2))
+	gl.Ret(ir.R(r5))
+	p.AddFunc(gl.Build())
+
+	// ap_exec_direct(): the direct call path to exec_cmd.
+	ed := ir.NewBuilder("ap_exec_direct", 0)
+	ed.Call("ap_build_execline")
+	el3 := ed.GlobalLea("execline", 0)
+	r6 := ed.Call("exec_cmd", ir.R(el3))
+	ed.Ret(ir.R(r6))
+	p.AddFunc(ed.Build())
+
+	// ap_init(): register hooks, map a pool.
+	in := ir.NewBuilder("ap_init", 0)
+	in.Call("mmap", ir.Imm(0), ir.Imm(16384), ir.Imm(kernel.ProtRead|kernel.ProtWrite),
+		ir.Imm(kernel.MapPrivate|kernel.MapAnonymous), ir.Imm(-1), ir.Imm(0))
+	eh := in.GlobalLea("exec_hook", 0)
+	ef := in.FuncAddr("exec_cmd")
+	in.Store(eh, 0, ir.R(ef), 8)
+	lh := in.GlobalLea("log_hook", 0)
+	lf := in.FuncAddr("ap_log_write")
+	in.Store(lh, 0, ir.R(lf), 8)
+	in.Ret(ir.Imm(0))
+	p.AddFunc(in.Build())
+
+	mb := ir.NewBuilder("main", 0)
+	mb.Call("ap_init")
+	lb := mb.GlobalLea("logbuf", 0)
+	mb.Call("ap_run_log", ir.R(lb), ir.Imm(4))
+	mb.Call("exit_group", ir.Imm(0))
+	mb.Ret(ir.Imm(0))
+	p.AddFunc(mb.Build())
+	return p
+}

@@ -1,0 +1,49 @@
+package attacks
+
+import (
+	"errors"
+	"testing"
+
+	"bastion/internal/kernel"
+	"bastion/internal/vm"
+)
+
+// TestApacheLegitimateExecPaths: both the direct call and the legitimate
+// exec-hook dispatch to exec_cmd must pass full protection — the control
+// group for the AOCR Apache scenario.
+func TestApacheLegitimateExecPaths(t *testing.T) {
+	for _, entry := range []string{"ap_exec_direct", "ap_get_exec_line"} {
+		env, err := Launch("apache", DefAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.P.Kernel.FS.WriteFile("/usr/bin/apachectl", []byte{0x7f}, 0o5)
+		_, cerr := env.P.Machine.CallFunction(entry)
+		var xe *vm.ExitError
+		if cerr != nil && !errors.As(cerr, &xe) {
+			t.Fatalf("%s under full protection: %v", entry, cerr)
+		}
+		if !env.P.Proc.HasEvent(kernel.EventExec, "/usr/bin/apachectl") {
+			t.Fatalf("%s did not exec: %v", entry, env.P.Proc.Events)
+		}
+		if len(env.P.Monitor.Violations) != 0 {
+			t.Fatalf("%s: violations %v", entry, env.P.Monitor.Violations)
+		}
+	}
+}
+
+// TestApacheLogHookBenign: the differently-typed log hook works normally.
+func TestApacheLogHookBenign(t *testing.T) {
+	env, err := Launch("apache", DefAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := env.GlobalAddr("logbuf")
+	// The program writes its own log line first (instrumented stores).
+	if _, err := env.P.Machine.CallFunction("ap_run_log", lb, 0); err != nil {
+		t.Fatalf("log dispatch: %v", err)
+	}
+	if len(env.P.Monitor.Violations) != 0 {
+		t.Fatalf("violations: %v", env.P.Monitor.Violations)
+	}
+}

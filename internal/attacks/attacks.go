@@ -1,0 +1,422 @@
+// Package attacks implements the security case studies of §10 (Table 6):
+// 32 attacks spanning return-oriented programming, direct system call
+// manipulation (NEWTON CsCFI, AOCR, CVE-derived exploits), and indirect
+// manipulation (NEWTON CPI, COOP, Control Jujutsu). Each scenario stages
+// its corruption against a real guest application using only the threat
+// model's primitives — arbitrary memory read/write plus an application
+// vulnerability trigger — and success is decided by observing kernel
+// security events, not by scripted flags.
+package attacks
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"bastion/internal/apps/nginx"
+	"bastion/internal/apps/sqlitedb"
+	"bastion/internal/apps/vsftpd"
+	"bastion/internal/baseline/cet"
+	"bastion/internal/baseline/llvmcfi"
+	"bastion/internal/core"
+	"bastion/internal/core/monitor"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+	"bastion/internal/kernel/fs"
+	"bastion/internal/vm"
+)
+
+// Defense selects the protection configuration an attack runs against.
+type Defense struct {
+	Name       string
+	UseMonitor bool
+	Contexts   monitor.Context
+	CET        bool
+	CFI        bool
+}
+
+// Canonical defenses for the evaluation.
+var (
+	DefNone = Defense{Name: "unprotected"}
+	DefCT   = Defense{Name: "CT", UseMonitor: true, Contexts: monitor.CallType}
+	DefCF   = Defense{Name: "CF", UseMonitor: true, Contexts: monitor.ControlFlow}
+	DefAI   = Defense{Name: "AI", UseMonitor: true, Contexts: monitor.ArgIntegrity}
+	DefAll  = Defense{Name: "BASTION", UseMonitor: true, Contexts: monitor.AllContexts}
+	DefCET  = Defense{Name: "CET", CET: true}
+	DefCFI  = Defense{Name: "LLVM-CFI", CFI: true}
+)
+
+// Env is a launched application plus the attacker's toolbox.
+type Env struct {
+	App  string
+	P    *core.Protected
+	CET  *cet.ShadowStack
+	CFI  *llvmcfi.CFI
+	Conn interface {
+		ClientWrite([]byte) (int, error)
+		ClientReadAll() []byte
+	}
+
+	// LastErr records the most recent guest-execution error (kills land
+	// here).
+	LastErr error
+
+	// clientFD is the established connection fd for connection-oriented
+	// apps (sqlite).
+	clientFD uint64
+	// initRet is the app init function's return value (the listen fd for
+	// the server apps).
+	initRet uint64
+
+	eventMark int
+}
+
+// ClientFD returns the pre-established connection's guest fd.
+func (e *Env) ClientFD() uint64 { return e.clientFD }
+
+// Call drives a guest function, recording any kill/fault.
+func (e *Env) Call(fn string, args ...uint64) uint64 {
+	if e.P.Machine.Halted() {
+		return 0
+	}
+	v, err := e.P.Machine.CallFunction(fn, args...)
+	if err != nil {
+		e.LastErr = err
+	}
+	return v
+}
+
+// GlobalAddr resolves a guest global's address (attacker knows the layout;
+// ASLR is assumed leaked, as in the paper's threat model).
+func (e *Env) GlobalAddr(name string) uint64 {
+	g := e.P.Machine.Prog.GlobalByName(name)
+	if g == nil {
+		panic("attacks: no global " + name)
+	}
+	return g.Addr
+}
+
+// FuncEntry resolves a function's entry address.
+func (e *Env) FuncEntry(name string) uint64 {
+	f := e.P.Machine.Prog.Func(name)
+	if f == nil {
+		panic("attacks: no function " + name)
+	}
+	return f.Base
+}
+
+// CallsiteRet returns the return address of the first direct call to
+// target inside caller — the value a forged stack frame needs to look
+// legitimate (the attacker reads it from the leaked binary).
+func (e *Env) CallsiteRet(caller, target string) uint64 {
+	f := e.P.Machine.Prog.Func(caller)
+	if f == nil {
+		panic("attacks: no function " + caller)
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.Kind == ir.Call && in.Sym == target {
+			return f.InstrAddr(i + 1)
+		}
+	}
+	panic("attacks: no callsite of " + target + " in " + caller)
+}
+
+// W performs the attacker's arbitrary 8-byte write.
+func (e *Env) W(addr, v uint64) {
+	if err := e.P.Machine.Mem.WriteUint(addr, v, 8); err != nil {
+		e.LastErr = err
+	}
+}
+
+// WB writes attacker bytes.
+func (e *Env) WB(addr uint64, b []byte) {
+	if err := e.P.Machine.Mem.Write(addr, b); err != nil {
+		e.LastErr = err
+	}
+}
+
+// R performs the attacker's arbitrary read.
+func (e *Env) R(addr uint64) uint64 {
+	v, err := e.P.Machine.Mem.ReadUint(addr, 8)
+	if err != nil {
+		e.LastErr = err
+	}
+	return v
+}
+
+// PlantString writes a NUL-terminated attacker string.
+func (e *Env) PlantString(addr uint64, s string) {
+	e.WB(addr, append([]byte(s), 0))
+}
+
+// Hook arms a breakpoint in the guest.
+func (e *Env) Hook(fn string, idx int, h vm.Hook) {
+	if err := e.P.Machine.HookFunc(fn, idx, h); err != nil {
+		panic(err)
+	}
+}
+
+// MarkEvents snapshots the kernel event log; goal checks consider only
+// events after the mark, so init-phase activity never counts as success.
+func (e *Env) MarkEvents() { e.eventMark = len(e.P.Proc.Events) }
+
+// EventSince reports whether a matching kernel event occurred after the
+// mark.
+func (e *Env) EventSince(kind kernel.EventKind, substr string) bool {
+	for _, ev := range e.P.Proc.Events[e.eventMark:] {
+		if ev.Kind == kind && (substr == "" || bytes.Contains([]byte(ev.Detail), []byte(substr))) {
+			return true
+		}
+	}
+	return false
+}
+
+// FakeFrame writes a forged stack frame at bp: saved-rbp, return address,
+// and param-slot words below it (params[i] lands at bp-8*(n-i)), matching
+// the VM frame layout for a function with n word parameters and no locals.
+func (e *Env) FakeFrame(bp, savedRBP, retaddr uint64, params ...uint64) {
+	e.W(bp, savedRBP)
+	e.W(bp+8, retaddr)
+	n := uint64(len(params))
+	for i, p := range params {
+		e.W(bp-8*(n-uint64(i)), p)
+	}
+}
+
+// HijackReturn overwrites the *current* frame's saved rbp / return address
+// from inside a hook: the memory-corruption step of a ROP chain.
+func HijackReturn(m *vm.Machine, newRBP, newRet uint64) error {
+	if err := m.Mem.WriteUint(m.RBP(), newRBP, 8); err != nil {
+		return err
+	}
+	return m.Mem.WriteUint(m.RBP()+8, newRet, 8)
+}
+
+// Scenario is one Table 6 attack.
+type Scenario struct {
+	ID       string
+	Name     string
+	Category string // "rop", "direct", "indirect"
+	Ref      string // the paper's citation
+	App      string // nginx | sqlite | vsftpd | apache
+
+	// Expected Table 6 verdicts: does each context block the attack?
+	BlockCT, BlockCF, BlockAI bool
+
+	// Goal decides completion from post-mark kernel events.
+	GoalKind   kernel.EventKind
+	GoalDetail string
+
+	// Run stages the corruption and drives the application.
+	Run func(e *Env)
+}
+
+// Outcome is the observed result of one scenario under one defense.
+type Outcome struct {
+	Completed bool
+	Killed    bool
+	KilledBy  string
+	Reason    string
+}
+
+// Blocked reports whether the defense stopped the attack.
+func (o Outcome) Blocked() bool { return !o.Completed && o.Killed }
+
+// Launch builds, compiles, and starts the scenario's application under the
+// given defense, returning an attack environment with the app initialized
+// and one client connection established where applicable.
+func Launch(app string, d Defense) (*Env, error) {
+	var prog *ir.Program
+	switch app {
+	case "nginx":
+		prog = nginx.Build()
+	case "sqlite":
+		prog = sqlitedb.Build()
+	case "vsftpd":
+		prog = vsftpd.Build()
+	case "apache":
+		prog = buildApache()
+	default:
+		return nil, fmt.Errorf("attacks: unknown app %q", app)
+	}
+	art, err := core.Compile(prog, core.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(nil)
+	// Attack goals and fixtures.
+	k.FS.WriteFile("/bin/sh", []byte("#!"), fs.ModeRead|fs.ModeExec)
+	k.FS.WriteFile("/bin/rootsh", []byte("#!"), fs.ModeRead|fs.ModeExec|fs.ModeSetUID)
+	k.FS.WriteFile("/usr/sbin/nginx", []byte{0x7f}, fs.ModeRead|fs.ModeExec)
+	k.FS.WriteFile("/usr/bin/apachectl", []byte{0x7f}, fs.ModeRead|fs.ModeExec)
+	k.FS.WriteFile("/srv/index.html", bytes.Repeat([]byte("x"), 4096), fs.ModeRead)
+	k.FS.WriteFile("/pub/file.bin", bytes.Repeat([]byte{0xab}, 16384), fs.ModeRead)
+	k.FS.MkdirAll("/var/db", fs.ModeRead|fs.ModeWrite|fs.ModeExec)
+
+	env := &Env{App: app}
+	var vmOpts []vm.Option
+	if d.CET {
+		env.CET = cet.New()
+		vmOpts = append(vmOpts, vm.WithMitigations(env.CET))
+	}
+	if d.CFI {
+		env.CFI = llvmcfi.New(art.Prog)
+		vmOpts = append(vmOpts, vm.WithMitigations(env.CFI))
+	}
+	vmOpts = append(vmOpts, vm.WithMaxSteps(1<<24))
+
+	var prot *core.Protected
+	if d.UseMonitor {
+		cfg := monitor.DefaultConfig()
+		cfg.Contexts = d.Contexts
+		prot, err = core.Launch(art, k, cfg, vmOpts...)
+	} else {
+		prot, err = core.LaunchUnprotected(art, k, vmOpts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	env.P = prot
+
+	// Application initialization (legitimate phase).
+	switch app {
+	case "nginx":
+		up := k.Net.NewSocket()
+		if err := k.Net.Bind(up, nginx.UpstreamPort); err != nil {
+			return nil, err
+		}
+		if err := k.Net.Listen(up, 1024); err != nil {
+			return nil, err
+		}
+		lfd, err := prot.Machine.CallFunction(nginx.FnInit, 2)
+		if err != nil {
+			return nil, fmt.Errorf("attacks: nginx init: %w", err)
+		}
+		env.initRet = lfd
+	case "sqlite":
+		lfd, err := prot.Machine.CallFunction(sqlitedb.FnInit, 2)
+		if err != nil {
+			return nil, fmt.Errorf("attacks: sqlite init: %w", err)
+		}
+		conn, err := k.Net.Dial(sqlitedb.Port)
+		if err != nil {
+			return nil, err
+		}
+		cfd, err := prot.Machine.CallFunction(sqlitedb.FnAccept, lfd)
+		if err != nil {
+			return nil, err
+		}
+		env.Conn = conn
+		env.clientFD = cfd
+		env.initRet = lfd
+	case "vsftpd":
+		lfd, err := prot.Machine.CallFunction(vsftpd.FnInit)
+		if err != nil {
+			return nil, fmt.Errorf("attacks: vsftpd init: %w", err)
+		}
+		env.initRet = lfd
+	case "apache":
+		if _, err := prot.Machine.CallFunction("ap_init"); err != nil {
+			return nil, fmt.Errorf("attacks: apache init: %w", err)
+		}
+	}
+	env.MarkEvents()
+	return env, nil
+}
+
+// Execute runs one scenario under one defense.
+func Execute(s Scenario, d Defense) (Outcome, error) {
+	env, err := Launch(s.App, d)
+	if err != nil {
+		return Outcome{}, err
+	}
+	s.Run(env)
+	out := Outcome{Completed: env.EventSince(s.GoalKind, s.GoalDetail)}
+	var ke *vm.KillError
+	if errors.As(env.LastErr, &ke) {
+		out.Killed = true
+		out.KilledBy = ke.By
+		out.Reason = ke.Reason
+	} else if env.LastErr != nil {
+		var cf *vm.ControlFault
+		if errors.As(env.LastErr, &cf) {
+			out.KilledBy = "fault"
+			out.Reason = cf.Why
+		}
+	}
+	return out, nil
+}
+
+// Verdict evaluates a scenario's Table 6 row: whether each context, run in
+// isolation, blocks the attack.
+type Verdict struct {
+	Scenario   Scenario
+	CT, CF, AI bool
+	// FullBlocked: all three contexts together stop the attack.
+	FullBlocked bool
+	// BaselineCompleted: the attack reaches its goal unprotected.
+	BaselineCompleted bool
+}
+
+// Evaluate computes the verdict for one scenario.
+func Evaluate(s Scenario) (Verdict, error) {
+	v := Verdict{Scenario: s}
+	base, err := Execute(s, DefNone)
+	if err != nil {
+		return v, err
+	}
+	v.BaselineCompleted = base.Completed
+	for _, d := range []struct {
+		def Defense
+		dst *bool
+	}{
+		{DefCT, &v.CT}, {DefCF, &v.CF}, {DefAI, &v.AI},
+	} {
+		out, err := Execute(s, d.def)
+		if err != nil {
+			return v, err
+		}
+		*d.dst = out.Blocked()
+	}
+	full, err := Execute(s, DefAll)
+	if err != nil {
+		return v, err
+	}
+	v.FullBlocked = full.Blocked()
+	return v, nil
+}
+
+// ComparisonRow is one attack's outcome across every defense — the
+// expanded form of the paper's §10 comparisons.
+type ComparisonRow struct {
+	Scenario Scenario
+	// Blocked maps defense name to whether it stopped the attack.
+	Blocked map[string]bool
+	// KilledBy maps defense name to the terminating component.
+	KilledBy map[string]string
+}
+
+// CompareDefenses runs the given scenarios against the standard defense
+// set (unprotected, each context, full BASTION, CET, CFI).
+func CompareDefenses(ids []string) ([]ComparisonRow, error) {
+	defs := []Defense{DefNone, DefCT, DefCF, DefAI, DefAll, DefCET, DefCFI}
+	var rows []ComparisonRow
+	for _, id := range ids {
+		s, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("attacks: unknown scenario %q", id)
+		}
+		row := ComparisonRow{Scenario: s, Blocked: map[string]bool{}, KilledBy: map[string]string{}}
+		for _, d := range defs {
+			out, err := Execute(s, d)
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", id, d.Name, err)
+			}
+			row.Blocked[d.Name] = out.Blocked()
+			row.KilledBy[d.Name] = out.KilledBy
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

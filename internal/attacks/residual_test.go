@@ -1,0 +1,82 @@
+package attacks
+
+import (
+	"testing"
+
+	"bastion/internal/apps/nginx"
+	"bastion/internal/kernel"
+	"bastion/internal/vm"
+)
+
+// The §11.1 residual, probed honestly: an adversary who forges a
+// *callsite-consistent* frame chain — every return address a real callsite
+// read from the leaked binary, ending in a fabricated zero sentinel — is
+// the strongest stack forgery the threat model allows. The chain must live
+// in writable memory, which in practice means below the live frames; the
+// monitor's frame-monotonicity check then catches the pivot. Independently
+// of where the chain lives, the forged exec context has no shadow history,
+// so argument integrity blocks the syscall even if control-flow were
+// satisfied — the defense-in-depth answer the paper gives.
+func runForgedChain(t *testing.T, d Defense) Outcome {
+	t.Helper()
+	env, err := Launch("nginx", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := env.GlobalAddr("scratch")
+	env.PlantString(sc+32, "/bin/sh")
+	// Forged ctx object for ngx_execute_proc.
+	env.W(sc+0, sc+32)
+	env.W(sc+8, 0)
+	env.W(sc+16, 0)
+
+	execProc := env.FuncEntry(nginx.FnExecuteProc)
+	retIntoUpgrade := env.CallsiteRet(nginx.FnMasterUpgrade, nginx.FnExecuteProc)
+
+	env.Hook(nginx.FnIndexedVar, 1, func(m *vm.Machine) error {
+		// Forged frames in unused stack space below the live frames:
+		// pv plays ngx_execute_proc's frame, pv2 the fabricated base.
+		pv := m.RBP() - 0x2000
+		pv2 := m.RBP() - 0x1000
+		m.Mem.WriteUint(pv-16, 0, 8) // p0 (cycle)
+		m.Mem.WriteUint(pv-8, sc, 8) // p1 (ctx) -> forged object
+		m.Mem.WriteUint(pv, pv2, 8)  // saved rbp -> fabricated base
+		m.Mem.WriteUint(pv+8, retIntoUpgrade, 8)
+		m.Mem.WriteUint(pv2, 0, 8)   // fabricated sentinel frame
+		m.Mem.WriteUint(pv2+8, 0, 8) // ret 0 = "process base"
+		return HijackReturn(m, pv, execProc)
+	})
+	env.Call(nginx.FnIndexedVar, 0, 0)
+
+	out := Outcome{Completed: env.EventSince(kernel.EventExec, "/bin/sh")}
+	if ke, okKill := env.LastErr.(*vm.KillError); okKill {
+		out.Killed = true
+		out.KilledBy = ke.By
+		out.Reason = ke.Reason
+	} else if env.LastErr != nil && !out.Completed {
+		t.Fatalf("forged chain failed for environmental reasons: %v", env.LastErr)
+	}
+	return out
+}
+
+func TestForgedCallsiteChain(t *testing.T) {
+	// Unprotected: the forged chain pops the shell.
+	if out := runForgedChain(t, DefNone); !out.Completed {
+		t.Fatalf("forged chain failed unprotected: %+v", out)
+	}
+	// CF catches the pivot via frame monotonicity (the forged frames sit
+	// below the live ones; ascending forgery has nowhere to live here).
+	if out := runForgedChain(t, DefCF); !out.Blocked() {
+		t.Fatalf("CF missed the in-stack forged chain: %+v", out)
+	}
+	// AI blocks independently of stack geometry: the forged context has
+	// no shadow history. This is the guarantee that survives even if an
+	// adversary finds room to satisfy the walk (§11.1's residual).
+	out := runForgedChain(t, DefAI)
+	if !out.Blocked() || out.KilledBy != "monitor" {
+		t.Fatalf("AI did not block the forged chain: %+v", out)
+	}
+	if out := runForgedChain(t, DefAll); !out.Blocked() {
+		t.Fatalf("full BASTION did not block: %+v", out)
+	}
+}

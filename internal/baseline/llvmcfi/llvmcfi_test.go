@@ -1,0 +1,139 @@
+package llvmcfi_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bastion/internal/baseline/llvmcfi"
+	"bastion/internal/ir"
+	"bastion/internal/vm"
+)
+
+// buildDispatcher: an indirect call through a memory-resident function
+// pointer; handlerA/handlerB share a signature, oddball has another, and
+// hidden's address is never taken.
+func buildDispatcher() *ir.Program {
+	p := ir.NewProgram()
+	p.AddGlobal(&ir.Global{Name: "fp", Size: 8})
+
+	for _, name := range []string{"handlerA", "handlerB"} {
+		b := ir.NewBuilder(name, 1)
+		v := b.LoadLocal("p0")
+		b.Ret(ir.R(v))
+		p.AddFunc(b.Build())
+	}
+	odd := ir.NewBuilder("oddball", 2)
+	odd.Ret(ir.Imm(0))
+	p.AddFunc(odd.Build())
+	hid := ir.NewBuilder("hidden", 1)
+	hid.Ret(ir.Imm(13))
+	p.AddFunc(hid.Build())
+
+	mb := ir.NewBuilder("main", 0)
+	g := mb.GlobalLea("fp", 0)
+	fa := mb.FuncAddr("handlerA")
+	mb.Store(g, 0, ir.R(fa), 8)
+	// Keep handlerB and oddball address-taken so they join classes.
+	mb.FuncAddr("handlerB")
+	mb.FuncAddr("oddball")
+	g2 := mb.GlobalLea("fp", 0)
+	target := mb.Load(g2, 0, 8)
+	r := mb.CallInd(target, "i64(i64)", ir.Imm(7))
+	mb.Ret(ir.R(r))
+	return addMain(p, mb)
+}
+
+func addMain(p *ir.Program, mb *ir.Builder) *ir.Program {
+	p.AddFunc(mb.Build())
+	if err := p.Link(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func newMachine(t *testing.T, p *ir.Program) (*vm.Machine, *llvmcfi.CFI) {
+	t.Helper()
+	cfi := llvmcfi.New(p)
+	m, err := vm.New(p, vm.WithMitigations(cfi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 1 << 16
+	return m, cfi
+}
+
+func TestLegitIndirectCallPasses(t *testing.T) {
+	m, cfi := newMachine(t, buildDispatcher())
+	got, err := m.CallFunction("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+	if cfi.Checks != 1 || cfi.Violations != 0 {
+		t.Fatalf("checks=%d violations=%d", cfi.Checks, cfi.Violations)
+	}
+}
+
+func TestSameClassHijackBypassesCFI(t *testing.T) {
+	// The paper's core point: redirecting to a type-matched function is
+	// invisible to coarse CFI.
+	p := buildDispatcher()
+	m, cfi := newMachine(t, p)
+	if err := m.HookFunc("main", 4, func(mm *vm.Machine) error {
+		return mm.Mem.WriteUint(p.GlobalByName("fp").Addr, p.Func("handlerB").Base, 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CallFunction("main"); err != nil {
+		t.Fatalf("hijack to same class was blocked: %v", err)
+	}
+	if cfi.Violations != 0 {
+		t.Fatal("false positive")
+	}
+}
+
+func TestCrossClassHijackBlocked(t *testing.T) {
+	p := buildDispatcher()
+	m, _ := newMachine(t, p)
+	if err := m.HookFunc("main", 4, func(mm *vm.Machine) error {
+		return mm.Mem.WriteUint(p.GlobalByName("fp").Addr, p.Func("oddball").Base, 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.CallFunction("main")
+	var ke *vm.KillError
+	if !errors.As(err, &ke) || ke.By != "cfi" {
+		t.Fatalf("err = %v, want cfi kill", err)
+	}
+	if !strings.Contains(ke.Reason, "type mismatch") {
+		t.Fatalf("reason = %q", ke.Reason)
+	}
+}
+
+func TestNonAddressTakenTargetBlocked(t *testing.T) {
+	p := buildDispatcher()
+	m, _ := newMachine(t, p)
+	if err := m.HookFunc("main", 4, func(mm *vm.Machine) error {
+		return mm.Mem.WriteUint(p.GlobalByName("fp").Addr, p.Func("hidden").Base, 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.CallFunction("main")
+	var ke *vm.KillError
+	if !errors.As(err, &ke) || ke.By != "cfi" {
+		t.Fatalf("err = %v, want cfi kill", err)
+	}
+}
+
+func TestClassSize(t *testing.T) {
+	cfi := llvmcfi.New(buildDispatcher())
+	if n := cfi.ClassSize("i64(i64)"); n != 2 { // handlerA, handlerB
+		t.Fatalf("class size = %d, want 2", n)
+	}
+	if n := cfi.ClassSize("i64(i64,i64)"); n != 1 { // oddball
+		t.Fatalf("oddball class = %d", n)
+	}
+}

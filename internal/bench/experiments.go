@@ -1,0 +1,470 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bastion/internal/attacks"
+	"bastion/internal/core/monitor"
+	"bastion/internal/kernel"
+	"bastion/internal/workload"
+)
+
+// Apps lists the evaluation applications in the paper's order.
+var Apps = []string{"nginx", "sqlite", "vsftpd"}
+
+// DefaultUnits is the per-measurement work-unit count used by the
+// regeneration commands; benchmarks may scale it down.
+const DefaultUnits = 120
+
+// --- Figure 3: overhead per mitigation stack ---
+
+// Figure3Row is one application's overhead series.
+type Figure3Row struct {
+	App       string
+	Overheads map[Mitigation]float64 // percent vs vanilla
+}
+
+// Figure3 measures the overhead of every mitigation stack for every
+// application.
+func Figure3(units int) ([]Figure3Row, error) {
+	var rows []Figure3Row
+	for _, app := range Apps {
+		base, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+		if err != nil {
+			return nil, err
+		}
+		row := Figure3Row{App: app, Overheads: map[Mitigation]float64{}}
+		for _, mit := range Mitigations[1:] {
+			r, err := Run(RunSpec{App: app, Mitigation: mit, Units: units})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", app, mit, err)
+			}
+			row.Overheads[mit] = Overhead(base, r)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure3 formats Figure 3 rows.
+func RenderFigure3(rows []Figure3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: performance overhead vs unprotected baseline (%%)\n")
+	fmt.Fprintf(&b, "%-8s %10s %8s %8s %10s %13s\n", "app", "LLVM CFI", "CET", "CET+CT", "CET+CT+CF", "CET+CT+CF+AI")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10.2f %8.2f %8.2f %10.2f %13.2f\n", r.App,
+			r.Overheads[MitCFI], r.Overheads[MitCET], r.Overheads[MitCETCT],
+			r.Overheads[MitCETCTCF], r.Overheads[MitFull])
+	}
+	return b.String()
+}
+
+// --- Table 3: raw benchmark numbers ---
+
+// Table3Cell is one raw measurement in the application's native unit.
+type Table3Cell struct {
+	Mitigation Mitigation
+	Value      float64
+}
+
+// Table3Row is one application's raw series.
+type Table3Row struct {
+	App   string
+	Unit  string // "MB/s", "NOTPM", "sec"
+	Cells []Table3Cell
+}
+
+// rawValue converts a run into the paper's reporting unit for the app.
+func rawValue(app string, r *RunResult) float64 {
+	rate := Throughput(r) // units per second
+	switch app {
+	case "nginx":
+		return rate * workload.PageSize / 1e6 // MB/s
+	case "sqlite":
+		return rate * 60 // new-order transactions per minute
+	case "vsftpd":
+		// Seconds to download 100 MB at the measured transfer rate.
+		const paperFile = 100e6
+		perTransfer := float64(workload.FTPFileSize)
+		if rate == 0 {
+			return 0
+		}
+		return paperFile / (rate * perTransfer)
+	}
+	return rate
+}
+
+// Table3 measures the raw numbers behind Figure 3.
+func Table3(units int) ([]Table3Row, error) {
+	unitOf := map[string]string{"nginx": "MB/s", "sqlite": "NOTPM", "vsftpd": "sec"}
+	var rows []Table3Row
+	for _, app := range Apps {
+		row := Table3Row{App: app, Unit: unitOf[app]}
+		for _, mit := range Mitigations {
+			r, err := Run(RunSpec{App: app, Mitigation: mit, Units: units})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", app, mit, err)
+			}
+			row.Cells = append(row.Cells, Table3Cell{Mitigation: mit, Value: rawValue(app, r)})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable3 formats Table 3.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: raw benchmark numbers per mitigation\n")
+	fmt.Fprintf(&b, "%-8s %-6s", "app", "unit")
+	for _, m := range Mitigations {
+		fmt.Fprintf(&b, " %13s", m)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-6s", r.App, r.Unit)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %13.2f", c.Value)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// --- Table 4: sensitive syscall usage ---
+
+// Table4Row is one syscall's per-application invocation counts.
+type Table4Row struct {
+	Syscall string
+	Counts  map[string]uint64
+}
+
+// Table4Result carries the rows plus total monitor hooks.
+type Table4Result struct {
+	Rows  []Table4Row
+	Hooks map[string]uint64
+}
+
+// Table4 counts sensitive syscall invocations (init + steady state) under
+// full protection.
+func Table4(units int) (*Table4Result, error) {
+	res := &Table4Result{Hooks: map[string]uint64{}}
+	counts := map[string]map[uint32]uint64{}
+	for _, app := range Apps {
+		r, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: units})
+		if err != nil {
+			return nil, err
+		}
+		counts[app] = r.Protected.Proc.SyscallCounts
+		res.Hooks[app] = r.Protected.Proc.TrapCount
+	}
+	for _, nr := range kernel.SensitiveSyscalls {
+		row := Table4Row{Syscall: kernel.Name(nr), Counts: map[string]uint64{}}
+		for _, app := range Apps {
+			row.Counts[app] = counts[app][nr]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RenderTable4 formats Table 4.
+func RenderTable4(t *Table4Result, units int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: sensitive system call usage (init + %d units)\n", units)
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s\n", "syscall", "nginx", "sqlite", "vsftpd")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s %10d %10d %10d\n", r.Syscall,
+			r.Counts["nginx"], r.Counts["sqlite"], r.Counts["vsftpd"])
+	}
+	fmt.Fprintf(&b, "%-18s %10d %10d %10d\n", "total monitor hook",
+		t.Hooks["nginx"], t.Hooks["sqlite"], t.Hooks["vsftpd"])
+	return b.String()
+}
+
+// --- Table 5: instrumentation statistics ---
+
+// Table5Row is one application's static statistics.
+type Table5Row struct {
+	App                string
+	TotalCallsites     int
+	DirectCallsites    int
+	IndirectCallsites  int
+	SensitiveCallsites int
+	SensitiveIndirect  int
+	CtxWriteMem        int
+	CtxBindMem         int
+	CtxBindConst       int
+	Total              int
+}
+
+// Table5 reports the compiler's instrumentation statistics.
+func Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, app := range Apps {
+		r, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: 1})
+		if err != nil {
+			return nil, err
+		}
+		s := r.Stats.Stats
+		rows = append(rows, Table5Row{
+			App:                app,
+			TotalCallsites:     s.TotalCallsites,
+			DirectCallsites:    s.DirectCallsites,
+			IndirectCallsites:  s.IndirectCallsites,
+			SensitiveCallsites: s.SensitiveCallsites,
+			SensitiveIndirect:  s.SensitiveIndirect,
+			CtxWriteMem:        s.CtxWriteMem,
+			CtxBindMem:         s.CtxBindMem,
+			CtxBindConst:       s.CtxBindConst,
+			Total:              s.Total(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable5 formats Table 5.
+func RenderTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: instrumentation statistics\n")
+	fmt.Fprintf(&b, "%-38s %8s %8s %8s\n", "", "nginx", "sqlite", "vsftpd")
+	get := func(f func(Table5Row) int) [3]int {
+		var v [3]int
+		for i, r := range rows {
+			v[i] = f(r)
+		}
+		return v
+	}
+	lines := []struct {
+		label string
+		f     func(Table5Row) int
+	}{
+		{"Total # application callsites", func(r Table5Row) int { return r.TotalCallsites }},
+		{"Total # arbitrary direct callsites", func(r Table5Row) int { return r.DirectCallsites }},
+		{"Total # arbitrary indirect callsites", func(r Table5Row) int { return r.IndirectCallsites }},
+		{"Total # sensitive callsites", func(r Table5Row) int { return r.SensitiveCallsites }},
+		{"# sensitive syscalls called indirectly", func(r Table5Row) int { return r.SensitiveIndirect }},
+		{"ctx_write_mem()", func(r Table5Row) int { return r.CtxWriteMem }},
+		{"ctx_bind_mem()", func(r Table5Row) int { return r.CtxBindMem }},
+		{"ctx_bind_const()", func(r Table5Row) int { return r.CtxBindConst }},
+		{"Total instrumentation sites", func(r Table5Row) int { return r.Total }},
+	}
+	for _, l := range lines {
+		v := get(l.f)
+		fmt.Fprintf(&b, "%-38s %8d %8d %8d\n", l.label, v[0], v[1], v[2])
+	}
+	return b.String()
+}
+
+// --- Table 6: security case studies ---
+
+// Table6Row is one attack's verdicts.
+type Table6Row struct {
+	Verdict attacks.Verdict
+}
+
+// Table6 evaluates the full attack catalog.
+func Table6() ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, s := range attacks.Catalog() {
+		v, err := attacks.Evaluate(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.ID, err)
+		}
+		rows = append(rows, Table6Row{Verdict: v})
+	}
+	return rows, nil
+}
+
+// RenderTable6 formats Table 6, grouping by category.
+func RenderTable6(rows []Table6Row) string {
+	var b strings.Builder
+	b.WriteString("Table 6: exploits blocked per context (✓ blocks, × bypassed)\n")
+	fmt.Fprintf(&b, "%-18s %-58s %-3s %-3s %-3s %s\n", "id", "attack", "CT", "CF", "AI", "full")
+	mark := func(v bool) string {
+		if v {
+			return "✓"
+		}
+		return "×"
+	}
+	cat := ""
+	for _, r := range rows {
+		s := r.Verdict.Scenario
+		if s.Category != cat {
+			cat = s.Category
+			fmt.Fprintf(&b, "-- %s --\n", cat)
+		}
+		fmt.Fprintf(&b, "%-18s %-58s %-3s %-3s %-3s %s\n",
+			s.ID, truncate(s.Name, 58),
+			mark(r.Verdict.CT), mark(r.Verdict.CF), mark(r.Verdict.AI),
+			mark(r.Verdict.FullBlocked))
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// --- Table 7: file-system syscall extension ---
+
+// Table7Row is one checkpoint configuration's results across apps.
+type Table7Row struct {
+	Label     string
+	Raw       map[string]float64
+	Overheads map[string]float64
+}
+
+// Table7 measures the §11.2 extension: protecting file-system syscalls at
+// the three monitor checkpoints.
+func Table7(units int) ([]Table7Row, error) {
+	base := map[string]*RunResult{}
+	for _, app := range Apps {
+		r, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+		if err != nil {
+			return nil, err
+		}
+		base[app] = r
+	}
+	configs := []struct {
+		label string
+		mode  monitor.Mode
+	}{
+		{"seccomp hook only", monitor.ModeHookOnly},
+		{"fetch process state", monitor.ModeFetchOnly},
+		{"full context checking", monitor.ModeFull},
+	}
+	var rows []Table7Row
+	for _, cfg := range configs {
+		row := Table7Row{Label: cfg.label, Raw: map[string]float64{}, Overheads: map[string]float64{}}
+		for _, app := range Apps {
+			r, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: units, ExtendFS: true, Mode: cfg.mode})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", app, cfg.label, err)
+			}
+			row.Raw[app] = rawValue(app, r)
+			row.Overheads[app] = Overhead(base[app], r)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable7 formats Table 7.
+func RenderTable7(rows []Table7Row) string {
+	var b strings.Builder
+	b.WriteString("Table 7: overhead with file-system syscalls protected\n")
+	fmt.Fprintf(&b, "%-24s %22s %22s %22s\n", "configuration", "nginx", "sqlite", "vsftpd")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %13.2f (%5.2f%%) %13.2f (%5.2f%%) %13.2f (%5.2f%%)\n", r.Label,
+			r.Raw["nginx"], r.Overheads["nginx"],
+			r.Raw["sqlite"], r.Overheads["sqlite"],
+			r.Raw["vsftpd"], r.Overheads["vsftpd"])
+	}
+	return b.String()
+}
+
+// --- §9.2 extras: monitor init cost and call-depth statistics ---
+
+// InitDepthStats carries the §9.2 prose numbers.
+type InitDepthStats struct {
+	App        string
+	InitMillis float64
+	AvgDepth   float64
+	MinDepth   int
+	MaxDepth   int
+}
+
+// InitAndDepth measures monitor initialization latency and syscall stack
+// depths for one application.
+func InitAndDepth(app string, units int) (*InitDepthStats, error) {
+	r, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	m := r.Protected.Machine
+	return &InitDepthStats{
+		App:        app,
+		InitMillis: float64(r.Protected.Monitor.InitCycles) / SimHz * 1000,
+		AvgDepth:   m.AvgSyscallDepth(),
+		MinDepth:   m.MinDepth,
+		MaxDepth:   m.MaxDepth,
+	}, nil
+}
+
+// --- Ablation: accept/accept4 fast path (§9.2) ---
+
+// AblationResult compares full protection with and without the accept
+// fast path.
+type AblationResult struct {
+	App              string
+	FastPathOverhead float64
+	FullWalkOverhead float64
+}
+
+// AblationAcceptFastPath measures the §9.2 accept optimization.
+func AblationAcceptFastPath(app string, units int) (*AblationResult, error) {
+	base, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	fast, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	slow, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: units, DisableAcceptFastPath: true})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{
+		App:              app,
+		FastPathOverhead: Overhead(base, fast),
+		FullWalkOverhead: Overhead(base, slow),
+	}, nil
+}
+
+// InKernelResult compares the ptrace monitor against the §11.2 in-kernel
+// design under the file-system extension, where state fetching dominates.
+type InKernelResult struct {
+	App              string
+	PtraceOverhead   float64
+	InKernelOverhead float64
+}
+
+// InKernelAblation measures how much of the Table 7 overhead the paper's
+// proposed in-kernel monitor recovers.
+func InKernelAblation(app string, units int) (*InKernelResult, error) {
+	base, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	ptrace, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: units, ExtendFS: true})
+	if err != nil {
+		return nil, err
+	}
+	inK, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: units, ExtendFS: true, InKernel: true})
+	if err != nil {
+		return nil, err
+	}
+	return &InKernelResult{
+		App:              app,
+		PtraceOverhead:   Overhead(base, ptrace),
+		InKernelOverhead: Overhead(base, inK),
+	}, nil
+}
+
+// SortedSensitiveNames returns the sensitive syscall names in Table 1
+// order (stable helper for reports).
+func SortedSensitiveNames() []string {
+	names := make([]string, len(kernel.SensitiveSyscalls))
+	for i, nr := range kernel.SensitiveSyscalls {
+		names[i] = kernel.Name(nr)
+	}
+	sort.Strings(names)
+	return names
+}

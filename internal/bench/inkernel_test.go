@@ -1,0 +1,21 @@
+package bench
+
+import "testing"
+
+func TestInKernelAblation(t *testing.T) {
+	for _, app := range Apps {
+		res, err := InKernelAblation(app, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InKernelOverhead >= res.PtraceOverhead {
+			t.Errorf("%s: in-kernel %.2f%% not cheaper than ptrace %.2f%%", app, res.InKernelOverhead, res.PtraceOverhead)
+		}
+		// The §11.2 claim: with in-kernel execution, even full file-system
+		// coverage stays low-overhead.
+		if res.InKernelOverhead > 10 {
+			t.Errorf("%s: in-kernel fs overhead %.2f%%, want low", app, res.InKernelOverhead)
+		}
+		t.Logf("%s: fs-extension overhead ptrace=%.2f%% in-kernel=%.2f%%", app, res.PtraceOverhead, res.InKernelOverhead)
+	}
+}

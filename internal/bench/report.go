@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"bastion/internal/attacks"
+)
+
+// Report bundles every experiment into one artifact-evaluation document.
+type Report struct {
+	Units   int
+	Figure3 []Figure3Row
+	Table3  []Table3Row
+	Table4  *Table4Result
+	Table5  []Table5Row
+	Table6  []Table6Row
+	Table7  []Table7Row
+	Init    []*InitDepthStats
+	Accept  *AblationResult
+	InK     []*InKernelResult
+}
+
+// CollectReport runs every experiment at the given unit count.
+func CollectReport(units int) (*Report, error) {
+	r := &Report{Units: units}
+	var err error
+	if r.Figure3, err = Figure3(units); err != nil {
+		return nil, fmt.Errorf("figure 3: %w", err)
+	}
+	if r.Table3, err = Table3(units); err != nil {
+		return nil, fmt.Errorf("table 3: %w", err)
+	}
+	if r.Table4, err = Table4(units); err != nil {
+		return nil, fmt.Errorf("table 4: %w", err)
+	}
+	if r.Table5, err = Table5(); err != nil {
+		return nil, fmt.Errorf("table 5: %w", err)
+	}
+	if r.Table6, err = Table6(); err != nil {
+		return nil, fmt.Errorf("table 6: %w", err)
+	}
+	if r.Table7, err = Table7(units); err != nil {
+		return nil, fmt.Errorf("table 7: %w", err)
+	}
+	for _, app := range Apps {
+		st, err := InitAndDepth(app, units)
+		if err != nil {
+			return nil, fmt.Errorf("init/depth %s: %w", app, err)
+		}
+		r.Init = append(r.Init, st)
+		ik, err := InKernelAblation(app, units)
+		if err != nil {
+			return nil, fmt.Errorf("in-kernel %s: %w", app, err)
+		}
+		r.InK = append(r.InK, ik)
+	}
+	if r.Accept, err = AblationAcceptFastPath("nginx", units); err != nil {
+		return nil, fmt.Errorf("accept ablation: %w", err)
+	}
+	return r, nil
+}
+
+// Markdown renders the whole report as a standalone document.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# BASTION evaluation report (%d units per measurement)\n\n", r.Units)
+	b.WriteString("All numbers are deterministic simulator measurements; see EXPERIMENTS.md for paper comparison.\n\n")
+
+	b.WriteString("## Figure 3 — overhead per mitigation stack (%)\n\n")
+	b.WriteString("| app | LLVM CFI | CET | CET+CT | CET+CT+CF | CET+CT+CF+AI |\n|---|---|---|---|---|---|\n")
+	for _, row := range r.Figure3 {
+		fmt.Fprintf(&b, "| %s | %.2f | %.2f | %.2f | %.2f | %.2f |\n", row.App,
+			row.Overheads[MitCFI], row.Overheads[MitCET], row.Overheads[MitCETCT],
+			row.Overheads[MitCETCTCF], row.Overheads[MitFull])
+	}
+
+	b.WriteString("\n## Table 3 — raw numbers\n\n| app | unit |")
+	for _, m := range Mitigations {
+		fmt.Fprintf(&b, " %s |", m)
+	}
+	b.WriteString("\n|---|---|---|---|---|---|---|---|\n")
+	for _, row := range r.Table3 {
+		fmt.Fprintf(&b, "| %s | %s |", row.App, row.Unit)
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, " %.2f |", c.Value)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("\n## Table 4 — sensitive syscall usage\n\n| syscall | nginx | sqlite | vsftpd |\n|---|---|---|---|\n")
+	for _, row := range r.Table4.Rows {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d |\n", row.Syscall,
+			row.Counts["nginx"], row.Counts["sqlite"], row.Counts["vsftpd"])
+	}
+	fmt.Fprintf(&b, "| **total monitor hook** | %d | %d | %d |\n",
+		r.Table4.Hooks["nginx"], r.Table4.Hooks["sqlite"], r.Table4.Hooks["vsftpd"])
+
+	b.WriteString("\n## Table 5 — instrumentation statistics\n\n| statistic | nginx | sqlite | vsftpd |\n|---|---|---|---|\n")
+	stat := func(label string, f func(Table5Row) int) {
+		fmt.Fprintf(&b, "| %s |", label)
+		for _, row := range r.Table5 {
+			fmt.Fprintf(&b, " %d |", f(row))
+		}
+		b.WriteString("\n")
+	}
+	stat("application callsites", func(x Table5Row) int { return x.TotalCallsites })
+	stat("direct callsites", func(x Table5Row) int { return x.DirectCallsites })
+	stat("indirect callsites", func(x Table5Row) int { return x.IndirectCallsites })
+	stat("sensitive callsites", func(x Table5Row) int { return x.SensitiveCallsites })
+	stat("sensitive called indirectly", func(x Table5Row) int { return x.SensitiveIndirect })
+	stat("ctx_write_mem", func(x Table5Row) int { return x.CtxWriteMem })
+	stat("ctx_bind_mem", func(x Table5Row) int { return x.CtxBindMem })
+	stat("ctx_bind_const", func(x Table5Row) int { return x.CtxBindConst })
+	stat("total instrumentation", func(x Table5Row) int { return x.Total })
+
+	b.WriteString("\n## Table 6 — security case studies\n\n| attack | category | CT | CF | AI | full |\n|---|---|---|---|---|---|\n")
+	mark := func(v bool) string {
+		if v {
+			return "✓"
+		}
+		return "×"
+	}
+	for _, row := range r.Table6 {
+		s := row.Verdict.Scenario
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n", s.ID, s.Category,
+			mark(row.Verdict.CT), mark(row.Verdict.CF), mark(row.Verdict.AI),
+			mark(row.Verdict.FullBlocked))
+	}
+
+	b.WriteString("\n## Table 7 — file-system syscall extension\n\n| configuration | nginx | sqlite | vsftpd |\n|---|---|---|---|\n")
+	for _, row := range r.Table7 {
+		fmt.Fprintf(&b, "| %s | %.2f (%.2f%%) | %.2f (%.2f%%) | %.2f (%.2f%%) |\n", row.Label,
+			row.Raw["nginx"], row.Overheads["nginx"],
+			row.Raw["sqlite"], row.Overheads["sqlite"],
+			row.Raw["vsftpd"], row.Overheads["vsftpd"])
+	}
+
+	b.WriteString("\n## §9.2 / §11.2 extras\n\n")
+	for _, st := range r.Init {
+		fmt.Fprintf(&b, "- %s: monitor init %.2f ms; syscall depth avg %.1f (min %d, max %d)\n",
+			st.App, st.InitMillis, st.AvgDepth, st.MinDepth, st.MaxDepth)
+	}
+	fmt.Fprintf(&b, "- accept4 fast path (nginx): %.2f%% vs %.2f%% with full-walk verification\n",
+		r.Accept.FastPathOverhead, r.Accept.FullWalkOverhead)
+	for _, ik := range r.InK {
+		fmt.Fprintf(&b, "- in-kernel monitor (%s, fs extension): %.2f%% vs %.2f%% under ptrace\n",
+			ik.App, ik.InKernelOverhead, ik.PtraceOverhead)
+	}
+	if cmp, err := DefenseComparisonMarkdown(); err == nil {
+		b.WriteString("\n")
+		b.WriteString(cmp)
+	}
+	return b.String()
+}
+
+// DefenseComparisonMarkdown renders representative attacks across every
+// defense configuration (one per Table 6 category plus the CVE family).
+func DefenseComparisonMarkdown() (string, error) {
+	ids := []string{"rop-exec-01", "direct-cscfi", "cve-2013-2028", "ind-newton-cpi", "ind-jujutsu"}
+	rows, err := attacks.CompareDefenses(ids)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("## Defense comparison (representative attacks)\n\n")
+	b.WriteString("| attack | unprotected | CT | CF | AI | BASTION | CET | LLVM-CFI |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	cell := func(r attacks.ComparisonRow, def string) string {
+		if !r.Blocked[def] {
+			return "×"
+		}
+		if by := r.KilledBy[def]; by != "" {
+			return "✓ (" + by + ")"
+		}
+		return "✓"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %s |\n", r.Scenario.ID,
+			cell(r, "unprotected"), cell(r, "CT"), cell(r, "CF"), cell(r, "AI"),
+			cell(r, "BASTION"), cell(r, "CET"), cell(r, "LLVM-CFI"))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,381 @@
+// Package analysis implements the BASTION compiler pass (§6 of the paper):
+//
+//   - Call-type analysis (§6.1) classifies every system call as
+//     not-callable, directly-callable, and/or indirectly-callable by
+//     inspecting how its wrapper function is referenced.
+//   - Control-flow analysis (§6.2) extracts callee→caller relations for
+//     every function on a path that reaches a sensitive system call,
+//     stopping at main or at indirect callsites.
+//   - Argument-integrity analysis (§6.3) performs a field-sensitive,
+//     inter-procedural backward use-def trace from every sensitive system
+//     call argument, identifies the sensitive variables, and instruments
+//     the program with the runtime-library intrinsics of Table 2
+//     (ctx_write_mem after stores to sensitive variables, ctx_bind_mem_X /
+//     ctx_bind_const_X before callsites).
+//
+// The pass runs on an unlinked program, plans instrumentation, rewrites the
+// functions, links the result, and only then materializes address-keyed
+// metadata, so all callsite addresses in the metadata refer to the final
+// instrumented binary.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"bastion/internal/core/metadata"
+	"bastion/internal/ir"
+)
+
+// Options configures the pass.
+type Options struct {
+	// Sensitive is the set of syscall numbers receiving full context
+	// protection (defaults to Table 1's 20 via the caller).
+	Sensitive []uint32
+	// MaxUseDefDepth bounds inter-procedural parameter tracing.
+	MaxUseDefDepth int
+}
+
+// Stats are the Table 5 instrumentation statistics.
+type Stats struct {
+	TotalCallsites     int // all application callsites
+	DirectCallsites    int
+	IndirectCallsites  int
+	SensitiveCallsites int // callsites invoking sensitive wrappers
+	SensitiveIndirect  int // sensitive syscalls called indirectly
+	CtxWriteMem        int // inserted ctx_write_mem instrumentation
+	CtxBindMem         int
+	CtxBindConst       int
+	UntracedArgs       int // arguments the use-def trace could not resolve
+}
+
+// Total returns the total instrumentation site count (Table 5 last row).
+func (s Stats) Total() int { return s.CtxWriteMem + s.CtxBindMem + s.CtxBindConst }
+
+// Result is the compiler output: the instrumented program (linked), the
+// context metadata, and the instrumentation statistics.
+type Result struct {
+	Prog  *ir.Program
+	Meta  *metadata.Metadata
+	Stats Stats
+}
+
+// pass carries analysis state.
+type pass struct {
+	prog      *ir.Program
+	opts      Options
+	sensitive map[uint32]bool
+
+	// wrapperNr maps wrapper function name -> syscall number.
+	wrapperNr map[string]int64
+	// wrapperOf maps syscall number -> wrapper name.
+	wrapperOf map[int64]string
+
+	stats Stats
+
+	// plan collects instrumentation insertions per function.
+	plan map[string][]insertion
+
+	// sensVars is the set of sensitive variables (field-sensitive).
+	sensVars map[varKey]bool
+	// sensParams tracks (function, param) pairs already traced, to
+	// terminate inter-procedural recursion.
+	sensParams map[paramKey]bool
+	// derefWriteFns tracks functions whose pointer-parameter stores are
+	// instrumented (memcpy-style writers into sensitive buffers).
+	derefWriteFns map[paramKey]bool
+
+	// argSites collects argument records keyed by (function, callsite
+	// original index); addresses are resolved after relinking.
+	argSites map[siteKey]*argSiteDraft
+
+	// planned dedupes instrumentation decisions; planSeq orders them.
+	planned map[string]bool
+	planSeq int
+	// remap maps (function, original index) to instrumented index.
+	remap map[string]map[int]int
+}
+
+type siteKey struct {
+	fn  string
+	idx int // original instruction index of the callsite
+}
+
+type paramKey struct {
+	fn    string
+	param int
+}
+
+type argSiteDraft struct {
+	target    string
+	syscallNr uint32
+	isSyscall bool
+	args      []metadata.ArgSpec
+}
+
+// Run executes the full pass on prog, which must validate but need not be
+// linked. The program is mutated in place (instrumented and linked).
+func Run(prog *ir.Program, opts Options) (*Result, error) {
+	if opts.MaxUseDefDepth == 0 {
+		opts.MaxUseDefDepth = 6
+	}
+	p := &pass{
+		prog:          prog,
+		opts:          opts,
+		sensitive:     map[uint32]bool{},
+		wrapperNr:     map[string]int64{},
+		wrapperOf:     map[int64]string{},
+		plan:          map[string][]insertion{},
+		sensVars:      map[varKey]bool{},
+		sensParams:    map[paramKey]bool{},
+		derefWriteFns: map[paramKey]bool{},
+		argSites:      map[siteKey]*argSiteDraft{},
+	}
+	for _, nr := range opts.Sensitive {
+		p.sensitive[uint32(nr)] = true
+	}
+	p.findWrappers()
+	p.analyzeArguments()
+	if err := p.instrument(); err != nil {
+		return nil, err
+	}
+	if err := prog.Link(); err != nil {
+		return nil, err
+	}
+	meta, err := p.buildMetadata()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Prog: prog, Meta: meta, Stats: p.stats}, nil
+}
+
+// findWrappers locates syscall wrapper functions.
+func (p *pass) findWrappers() {
+	for _, f := range p.prog.Funcs {
+		if nr, ok := ir.SyscallNumber(f); ok {
+			p.wrapperNr[f.Name] = nr
+			p.wrapperOf[nr] = f.Name
+		}
+	}
+}
+
+// isSensitiveWrapper reports whether fn wraps a sensitive syscall.
+func (p *pass) isSensitiveWrapper(fn string) (uint32, bool) {
+	nr, ok := p.wrapperNr[fn]
+	if !ok {
+		return 0, false
+	}
+	return uint32(nr), p.sensitive[uint32(nr)]
+}
+
+// buildMetadata constructs the address-keyed metadata from the linked,
+// instrumented program.
+func (p *pass) buildMetadata() (*metadata.Metadata, error) {
+	meta := metadata.New()
+	meta.Entry = p.prog.Entry
+
+	for _, f := range p.prog.Funcs {
+		meta.Funcs[f.Name] = metadata.FuncInfo{
+			Name:  f.Name,
+			Entry: f.Base,
+			End:   f.Base + uint64(len(f.Code))*ir.InstrSize,
+		}
+	}
+
+	// Call-type classification and the callsite map.
+	for _, f := range p.prog.Funcs {
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch in.Kind {
+			case ir.Call:
+				p.stats.TotalCallsites++
+				p.stats.DirectCallsites++
+				cs := metadata.Callsite{
+					Addr:    f.InstrAddr(i),
+					RetAddr: f.InstrAddr(i + 1),
+					Caller:  f.Name,
+					Kind:    metadata.SiteDirect,
+					Target:  in.Sym,
+				}
+				meta.Callsites[cs.RetAddr] = cs
+				if nr, ok := p.wrapperNr[in.Sym]; ok {
+					ct := meta.CallTypes[uint32(nr)]
+					ct.Nr = uint32(nr)
+					ct.Wrapper = in.Sym
+					ct.Direct = true
+					meta.CallTypes[uint32(nr)] = ct
+					if p.sensitive[uint32(nr)] {
+						p.stats.SensitiveCallsites++
+					}
+				}
+			case ir.CallInd:
+				p.stats.TotalCallsites++
+				p.stats.IndirectCallsites++
+				cs := metadata.Callsite{
+					Addr:    f.InstrAddr(i),
+					RetAddr: f.InstrAddr(i + 1),
+					Caller:  f.Name,
+					Kind:    metadata.SiteIndirect,
+					TypeSig: in.TypeSig,
+				}
+				meta.Callsites[cs.RetAddr] = cs
+			case ir.FuncAddr:
+				meta.IndirectTargets[in.Sym] = true
+				if nr, ok := p.wrapperNr[in.Sym]; ok {
+					ct := meta.CallTypes[uint32(nr)]
+					ct.Nr = uint32(nr)
+					ct.Wrapper = in.Sym
+					ct.Indirect = true
+					meta.CallTypes[uint32(nr)] = ct
+					if p.sensitive[uint32(nr)] {
+						p.stats.SensitiveIndirect++
+					}
+				}
+			}
+		}
+	}
+	for nr, ct := range meta.CallTypes {
+		ct.Name = sysName(nr)
+		meta.CallTypes[nr] = ct
+	}
+
+	p.buildCFG(meta)
+
+	// Materialize argument sites with final addresses.
+	for key, draft := range p.argSites {
+		f := p.prog.Func(key.fn)
+		if f == nil {
+			return nil, fmt.Errorf("analysis: lost function %q", key.fn)
+		}
+		idx := p.remappedIndex(key.fn, key.idx)
+		site := metadata.ArgSite{
+			Addr:      f.InstrAddr(idx),
+			Caller:    key.fn,
+			Target:    draft.target,
+			SyscallNr: draft.syscallNr,
+			IsSyscall: draft.isSyscall,
+			Args:      draft.args,
+		}
+		sort.Slice(site.Args, func(i, j int) bool { return site.Args[i].Pos < site.Args[j].Pos })
+		meta.ArgSites[site.Addr] = site
+	}
+	return meta, nil
+}
+
+// buildCFG computes callee→valid-caller relations for every function on a
+// path to a sensitive syscall wrapper (§6.2): reverse reachability from
+// the sensitive wrappers over direct call edges, stopping at main and not
+// crossing indirect callsites.
+func (p *pass) buildCFG(meta *metadata.Metadata) {
+	// Direct call graph: callee -> callers.
+	callers := map[string]map[string]bool{}
+	for _, f := range p.prog.Funcs {
+		for i := range f.Code {
+			in := &f.Code[i]
+			if in.Kind != ir.Call {
+				continue
+			}
+			if callers[in.Sym] == nil {
+				callers[in.Sym] = map[string]bool{}
+			}
+			callers[in.Sym][f.Name] = true
+		}
+	}
+	// Per-sensitive-syscall reverse reachability: which functions lie on a
+	// direct-call path to each sensitive wrapper. The union fills
+	// ValidCallers; the per-syscall sets drive AllowedIndirect.
+	reaches := map[uint32]map[string]bool{}
+	wrappers := make([]string, 0, len(p.wrapperNr))
+	for fn := range p.wrapperNr {
+		wrappers = append(wrappers, fn)
+	}
+	sort.Strings(wrappers) // determinism
+	for _, fn := range wrappers {
+		nr, sens := p.isSensitiveWrapper(fn)
+		if !sens {
+			continue
+		}
+		set := map[string]bool{fn: true}
+		work := []string{fn}
+		for len(work) > 0 {
+			callee := work[0]
+			work = work[1:]
+			cs := callers[callee]
+			if len(cs) == 0 {
+				continue
+			}
+			if meta.ValidCallers[callee] == nil {
+				meta.ValidCallers[callee] = map[string]bool{}
+			}
+			names := make([]string, 0, len(cs))
+			for c := range cs {
+				names = append(names, c)
+			}
+			sort.Strings(names)
+			for _, caller := range names {
+				meta.ValidCallers[callee][caller] = true
+				// Recursion stops at main; indirect reachability of the
+				// caller is recorded via IndirectTargets and ends monitor
+				// unwinding.
+				if caller == p.prog.Entry || set[caller] {
+					continue
+				}
+				set[caller] = true
+				work = append(work, caller)
+			}
+		}
+		reaches[nr] = set
+	}
+
+	// AllowedIndirect: an indirect callsite may start a path to syscall nr
+	// iff an address-taken function with the callsite's signature reaches
+	// nr (the statically expected partial traces of §7.3).
+	sigOf := map[string]string{}
+	for _, f := range p.prog.Funcs {
+		sigOf[f.Name] = f.TypeSig
+	}
+	for _, f := range p.prog.Funcs {
+		for i := range f.Code {
+			in := &f.Code[i]
+			if in.Kind != ir.CallInd {
+				continue
+			}
+			addr := f.InstrAddr(i)
+			for nr, set := range reaches {
+				for target := range meta.IndirectTargets {
+					if !set[target] {
+						continue
+					}
+					if in.TypeSig != "" && sigOf[target] != in.TypeSig {
+						continue
+					}
+					if meta.AllowedIndirect[nr] == nil {
+						meta.AllowedIndirect[nr] = map[uint64]bool{}
+					}
+					meta.AllowedIndirect[nr][addr] = true
+				}
+			}
+		}
+	}
+}
+
+func sysName(nr uint32) string {
+	if n, ok := syscallNames[nr]; ok {
+		return n
+	}
+	return fmt.Sprintf("sys_%d", nr)
+}
+
+// syscallNames duplicates the kernel's name table for the numbers that
+// matter to metadata rendering, avoiding an import cycle with packages
+// that build on both.
+var syscallNames = map[uint32]string{
+	0: "read", 1: "write", 2: "open", 3: "close", 4: "stat", 5: "fstat",
+	8: "lseek", 9: "mmap", 10: "mprotect", 11: "munmap", 12: "brk",
+	25: "mremap", 39: "getpid", 40: "sendfile", 41: "socket", 42: "connect",
+	43: "accept", 44: "sendto", 45: "recvfrom", 49: "bind", 50: "listen",
+	56: "clone", 57: "fork", 58: "vfork", 59: "execve", 60: "exit",
+	90: "chmod", 101: "ptrace", 105: "setuid", 106: "setgid",
+	113: "setreuid", 216: "remap_file_pages", 231: "exit_group",
+	257: "openat", 288: "accept4", 322: "execveat",
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"bastion/internal/ir"
+	"bastion/internal/vm"
+)
+
+// insertion is one planned splice of instrumentation instructions relative
+// to an original instruction index. Intrinsics inside seq carry BindSite
+// values that reference *original* indices; the rewriter remaps them after
+// computing the final layout.
+type insertion struct {
+	idx   int
+	after bool
+	seq   []ir.Instr
+	order int // stable ordering among insertions at the same point
+}
+
+// planKey records an instrumentation decision, returning false if it was
+// already planned (dedupe).
+func (p *pass) planKey(key string) bool {
+	if p.planned == nil {
+		p.planned = map[string]bool{}
+	}
+	if p.planned[key] {
+		return false
+	}
+	p.planned[key] = true
+	return true
+}
+
+// addInsertion queues an insertion for a function.
+func (p *pass) addInsertion(f *ir.Function, ins insertion) {
+	ins.order = p.planSeq
+	p.planSeq++
+	p.plan[f.Name] = append(p.plan[f.Name], ins)
+}
+
+// allocReg allocates a fresh virtual register in f for instrumentation.
+func (p *pass) allocReg(f *ir.Function) ir.Reg {
+	r := ir.Reg(f.NumRegs)
+	f.NumRegs++
+	return r
+}
+
+// remappedIndex translates an original instruction index to its position in
+// the instrumented function.
+func (p *pass) remappedIndex(fn string, idx int) int {
+	if m, ok := p.remap[fn]; ok {
+		if ni, ok := m[idx]; ok {
+			return ni
+		}
+	}
+	return idx
+}
+
+// instrument applies the plan: splices instrumentation sequences into each
+// function, remaps branch targets, labels, and intrinsic BindSite
+// references, and verifies the register budget.
+func (p *pass) instrument() error {
+	p.remap = map[string]map[int]int{}
+	for fname, inss := range p.plan {
+		f := p.prog.Func(fname)
+		if f == nil {
+			return fmt.Errorf("analysis: instrumentation for unknown function %q", fname)
+		}
+		if f.NumRegs > vm.MaxRegsPerFrame {
+			return fmt.Errorf("analysis: %s needs %d registers after instrumentation (max %d)",
+				fname, f.NumRegs, vm.MaxRegsPerFrame)
+		}
+		sort.SliceStable(inss, func(i, j int) bool {
+			if inss[i].idx != inss[j].idx {
+				return inss[i].idx < inss[j].idx
+			}
+			if inss[i].after != inss[j].after {
+				return !inss[i].after // before-insertions precede after-insertions
+			}
+			return inss[i].order < inss[j].order
+		})
+
+		before := map[int][]ir.Instr{}
+		after := map[int][]ir.Instr{}
+		for _, ins := range inss {
+			if ins.after {
+				after[ins.idx] = append(after[ins.idx], ins.seq...)
+			} else {
+				before[ins.idx] = append(before[ins.idx], ins.seq...)
+			}
+		}
+
+		newCode := make([]ir.Instr, 0, len(f.Code)+8)
+		blockStart := make(map[int]int, len(f.Code)+1) // branch/label remap
+		exact := make(map[int]int, len(f.Code))        // instruction's own new index
+		for i := range f.Code {
+			blockStart[i] = len(newCode)
+			newCode = append(newCode, before[i]...)
+			exact[i] = len(newCode)
+			newCode = append(newCode, f.Code[i])
+			newCode = append(newCode, after[i]...)
+		}
+		blockStart[len(f.Code)] = len(newCode)
+
+		// Remap branch targets and bind sites in the new code.
+		for i := range newCode {
+			in := &newCode[i]
+			switch in.Kind {
+			case ir.Jump, ir.BranchNZ:
+				if in.Label == "" {
+					in.ToIndex = blockStart[in.ToIndex]
+				}
+			case ir.Intrinsic:
+				if in.IK == ir.CtxBindMem || in.IK == ir.CtxBindConst {
+					in.BindSite = exact[in.BindSite]
+				}
+			}
+		}
+		remapLabels(f, blockStart)
+		f.Code = newCode
+		p.remap[fname] = exact
+	}
+	return nil
+}
+
+// remapLabels rewrites the function's label table through the block map.
+func remapLabels(f *ir.Function, blockStart map[int]int) {
+	labels := f.Labels()
+	for name, idx := range labels {
+		labels[name] = blockStart[idx]
+	}
+}

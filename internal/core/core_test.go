@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/core"
+	"bastion/internal/core/monitor"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+	"bastion/internal/vm"
+)
+
+func minimalProgram() *ir.Program {
+	p := guestlibc.NewProgram()
+	b := ir.NewBuilder("main", 0)
+	b.Call("getpid")
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+	return p
+}
+
+func TestCompileRejectsInvalidProgram(t *testing.T) {
+	p := ir.NewProgram() // no main
+	_, err := core.Compile(p, core.CompileOptions{})
+	if err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileCustomSensitiveSet(t *testing.T) {
+	// Protect only getpid: the artifact's metadata should constrain it.
+	p := minimalProgram()
+	art, err := core.Compile(p, core.CompileOptions{Sensitive: []uint32{kernel.SysGetpid}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := art.Meta.ValidCallers["getpid"]; !ok {
+		t.Fatal("custom sensitive set not honored")
+	}
+	if art.Stats.SensitiveCallsites != 1 {
+		t.Fatalf("sensitive callsites = %d", art.Stats.SensitiveCallsites)
+	}
+}
+
+func TestLaunchAndRunPipeline(t *testing.T) {
+	art, err := core.Compile(minimalProgram(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(nil)
+	prot, err := core.Launch(art, k, monitor.DefaultConfig(), vm.WithMaxSteps(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Monitor == nil || prot.Proc == nil || prot.Kernel != k {
+		t.Fatal("pipeline wiring incomplete")
+	}
+	if _, err := prot.Machine.CallFunction("main"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// getpid is non-sensitive: no traps expected under the default set.
+	if prot.Proc.TrapCount != 0 {
+		t.Fatalf("traps = %d", prot.Proc.TrapCount)
+	}
+}
+
+func TestTwoProcessesOneKernel(t *testing.T) {
+	// The kernel hosts several guests; each gets its own process object
+	// and address space but shares the filesystem and clock.
+	k := kernel.New(nil)
+	var prots []*core.Protected
+	for i := 0; i < 2; i++ {
+		art, err := core.Compile(minimalProgram(), core.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prot, err := core.Launch(art, k, monitor.DefaultConfig(), vm.WithMaxSteps(1<<16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prots = append(prots, prot)
+	}
+	if prots[0].Proc.PID == prots[1].Proc.PID {
+		t.Fatal("duplicate PIDs")
+	}
+	for _, prot := range prots {
+		if _, err := prot.Machine.CallFunction("main"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnprotectedHasNoMonitor(t *testing.T) {
+	art, err := core.Compile(minimalProgram(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := core.LaunchUnprotected(art, kernel.New(nil), vm.WithMaxSteps(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Monitor != nil {
+		t.Fatal("unexpected monitor")
+	}
+	if _, err := prot.Machine.CallFunction("main"); err != nil {
+		t.Fatal(err)
+	}
+}

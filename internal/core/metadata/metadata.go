@@ -1,0 +1,214 @@
+// Package metadata defines the context metadata the BASTION compiler emits
+// and the runtime monitor consumes: call-type permissions per system call,
+// the callsite map and callee→valid-caller relations for the control-flow
+// context, and per-callsite argument descriptors for the argument-integrity
+// context (§6 of the paper). Metadata serializes to JSON so a compiled
+// artifact can be stored next to its binary, as the paper's .bastion
+// sidecar files are.
+package metadata
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// CallType records how one system call may legitimately be invoked
+// (§3.1): directly, indirectly, both, or not at all.
+type CallType struct {
+	Nr       uint32 `json:"nr"`
+	Name     string `json:"name"`
+	Wrapper  string `json:"wrapper"`  // wrapper function implementing it
+	Direct   bool   `json:"direct"`   // has a direct callsite
+	Indirect bool   `json:"indirect"` // wrapper address is taken
+}
+
+// Callable reports whether the syscall may be invoked at all.
+func (c CallType) Callable() bool { return c.Direct || c.Indirect }
+
+// SiteKind distinguishes direct from indirect callsites.
+type SiteKind uint8
+
+// Callsite kinds.
+const (
+	SiteDirect SiteKind = iota
+	SiteIndirect
+)
+
+func (k SiteKind) String() string {
+	if k == SiteIndirect {
+		return "indirect"
+	}
+	return "direct"
+}
+
+// Callsite describes one call instruction in the program. The monitor
+// looks callsites up by return address while unwinding.
+type Callsite struct {
+	Addr    uint64   `json:"addr"`    // address of the call instruction
+	RetAddr uint64   `json:"retaddr"` // Addr + InstrSize (unwind key)
+	Caller  string   `json:"caller"`  // containing function
+	Kind    SiteKind `json:"kind"`
+	Target  string   `json:"target,omitempty"` // direct callee ("" if indirect)
+	TypeSig string   `json:"typesig,omitempty"`
+}
+
+// FuncInfo records a function's code range for address→function mapping.
+type FuncInfo struct {
+	Name  string `json:"name"`
+	Entry uint64 `json:"entry"`
+	End   uint64 `json:"end"` // exclusive
+}
+
+// ArgKind classifies a bound argument (§6.3.4).
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	// ArgConst: the expected value is a compile-time constant.
+	ArgConst ArgKind = iota
+	// ArgMem: the value is memory-backed; its legitimate value lives in the
+	// shadow table under the runtime-bound address.
+	ArgMem
+)
+
+func (k ArgKind) String() string {
+	if k == ArgMem {
+		return "mem"
+	}
+	return "const"
+}
+
+// ArgSpec describes one traced argument of a callsite.
+type ArgSpec struct {
+	Pos   int     `json:"pos"` // 1-based argument position
+	Kind  ArgKind `json:"kind"`
+	Const int64   `json:"const,omitempty"` // for ArgConst
+	Size  int64   `json:"size,omitempty"`  // for ArgMem: variable width in bytes
+	// Deref marks a pointer argument materialized from the address of a
+	// known object (&buf): the register must equal the bound address, and
+	// extended-argument rules may verify the pointee (§3.3, §6.3.2).
+	Deref bool `json:"deref,omitempty"`
+}
+
+// ArgSite is the argument-integrity record of one callsite: a sensitive
+// system call callsite, or an intermediate callsite passing sensitive
+// variables (e.g. bar() in Figure 2 of the paper).
+type ArgSite struct {
+	Addr      uint64    `json:"addr"`
+	Caller    string    `json:"caller"`
+	Target    string    `json:"target"`
+	SyscallNr uint32    `json:"syscall_nr"` // 0 when not a syscall wrapper callsite
+	IsSyscall bool      `json:"is_syscall"`
+	Args      []ArgSpec `json:"args"`
+}
+
+// Metadata is the complete compiler output the monitor loads at startup.
+type Metadata struct {
+	// CallTypes maps syscall number to its call-type permission. Syscall
+	// numbers absent from this map are not-callable.
+	CallTypes map[uint32]CallType `json:"call_types"`
+
+	// Callsites is keyed by return address (call address + instruction
+	// size), which is what stack unwinding produces.
+	Callsites map[uint64]Callsite `json:"callsites"`
+
+	// Funcs maps function names to their code ranges.
+	Funcs map[string]FuncInfo `json:"funcs"`
+
+	// ValidCallers maps a callee function to the set of functions allowed
+	// to call it directly — recorded only for functions on control-flow
+	// paths that reach sensitive system calls (§6.2).
+	ValidCallers map[string]map[string]bool `json:"valid_callers"`
+
+	// IndirectTargets is the set of functions whose address is taken and
+	// may therefore legitimately be reached from an indirect callsite.
+	IndirectTargets map[string]bool `json:"indirect_targets"`
+
+	// AllowedIndirect maps a sensitive syscall number to the set of
+	// indirect callsite addresses that can legitimately start a path to it:
+	// an indirect callsite is allowed for syscall S iff some address-taken
+	// function matching the callsite's type signature reaches S. This is
+	// the "expected partial stack trace" of §7.3.
+	AllowedIndirect map[uint32]map[uint64]bool `json:"allowed_indirect"`
+
+	// ArgSites maps callsite address to its argument-integrity record.
+	ArgSites map[uint64]ArgSite `json:"arg_sites"`
+
+	// Entry is the program entry function.
+	Entry string `json:"entry"`
+}
+
+// New returns empty metadata.
+func New() *Metadata {
+	return &Metadata{
+		CallTypes:       map[uint32]CallType{},
+		Callsites:       map[uint64]Callsite{},
+		Funcs:           map[string]FuncInfo{},
+		ValidCallers:    map[string]map[string]bool{},
+		IndirectTargets: map[string]bool{},
+		AllowedIndirect: map[uint32]map[uint64]bool{},
+		ArgSites:        map[uint64]ArgSite{},
+	}
+}
+
+// FuncAt returns the function whose code range contains addr, or "".
+func (m *Metadata) FuncAt(addr uint64) string {
+	for name, fi := range m.Funcs {
+		if addr >= fi.Entry && addr < fi.End {
+			return name
+		}
+	}
+	return ""
+}
+
+// CallerAllowed reports whether caller may directly call callee under the
+// control-flow context. Functions without a ValidCallers entry are not on
+// any sensitive path, so the context does not constrain them.
+func (m *Metadata) CallerAllowed(callee, caller string) (constrained, allowed bool) {
+	set, ok := m.ValidCallers[callee]
+	if !ok {
+		return false, true
+	}
+	return true, set[caller]
+}
+
+// Marshal serializes the metadata to JSON.
+func (m *Metadata) Marshal() ([]byte, error) {
+	return json.MarshalIndent(m, "", " ")
+}
+
+// Unmarshal parses metadata previously produced by Marshal.
+func Unmarshal(data []byte) (*Metadata, error) {
+	m := New()
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("metadata: %w", err)
+	}
+	return m, nil
+}
+
+// Summary renders a human-readable overview (used by cmd/bastionc).
+func (m *Metadata) Summary() string {
+	type row struct {
+		nr uint32
+		ct CallType
+	}
+	rows := make([]row, 0, len(m.CallTypes))
+	for nr, ct := range m.CallTypes {
+		rows = append(rows, row{nr, ct})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].nr < rows[j].nr })
+	out := fmt.Sprintf("metadata: %d callable syscalls, %d callsites, %d arg sites, %d constrained callees\n",
+		len(m.CallTypes), len(m.Callsites), len(m.ArgSites), len(m.ValidCallers))
+	for _, r := range rows {
+		mode := "direct"
+		switch {
+		case r.ct.Direct && r.ct.Indirect:
+			mode = "direct+indirect"
+		case r.ct.Indirect:
+			mode = "indirect"
+		}
+		out += fmt.Sprintf("  %-18s nr=%-4d %s\n", r.ct.Name, r.nr, mode)
+	}
+	return out
+}

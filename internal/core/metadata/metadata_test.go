@@ -1,0 +1,117 @@
+package metadata
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleMeta() *Metadata {
+	m := New()
+	m.Entry = "main"
+	m.CallTypes[59] = CallType{Nr: 59, Name: "execve", Wrapper: "execve", Direct: true}
+	m.CallTypes[10] = CallType{Nr: 10, Name: "mprotect", Wrapper: "mprotect", Direct: true, Indirect: true}
+	m.Callsites[0x400104] = Callsite{Addr: 0x400100, RetAddr: 0x400104, Caller: "f", Kind: SiteDirect, Target: "execve"}
+	m.Callsites[0x400204] = Callsite{Addr: 0x400200, RetAddr: 0x400204, Caller: "g", Kind: SiteIndirect, TypeSig: "i64(i64)"}
+	m.Funcs["f"] = FuncInfo{Name: "f", Entry: 0x400100, End: 0x400140}
+	m.ValidCallers["execve"] = map[string]bool{"f": true}
+	m.IndirectTargets["f"] = true
+	m.AllowedIndirect[59] = map[uint64]bool{0x400200: true}
+	m.ArgSites[0x400100] = ArgSite{
+		Addr: 0x400100, Caller: "f", Target: "execve", SyscallNr: 59, IsSyscall: true,
+		Args: []ArgSpec{
+			{Pos: 1, Kind: ArgMem, Size: 8, Deref: true},
+			{Pos: 2, Kind: ArgConst, Const: -1},
+		},
+	}
+	return m
+}
+
+func TestCallableAndKinds(t *testing.T) {
+	m := sampleMeta()
+	if !m.CallTypes[59].Callable() {
+		t.Error("execve not callable")
+	}
+	if (CallType{}).Callable() {
+		t.Error("zero call type callable")
+	}
+	if SiteDirect.String() != "direct" || SiteIndirect.String() != "indirect" {
+		t.Error("site kind strings")
+	}
+	if ArgConst.String() != "const" || ArgMem.String() != "mem" {
+		t.Error("arg kind strings")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	m := sampleMeta()
+	if got := m.FuncAt(0x400120); got != "f" {
+		t.Fatalf("FuncAt = %q", got)
+	}
+	if got := m.FuncAt(0x400140); got != "" { // end is exclusive
+		t.Fatalf("FuncAt(end) = %q", got)
+	}
+	if got := m.FuncAt(0x1); got != "" {
+		t.Fatalf("FuncAt(wild) = %q", got)
+	}
+}
+
+func TestCallerAllowed(t *testing.T) {
+	m := sampleMeta()
+	constrained, allowed := m.CallerAllowed("execve", "f")
+	if !constrained || !allowed {
+		t.Fatalf("f->execve = %v,%v", constrained, allowed)
+	}
+	constrained, allowed = m.CallerAllowed("execve", "attacker")
+	if !constrained || allowed {
+		t.Fatalf("attacker->execve = %v,%v", constrained, allowed)
+	}
+	constrained, allowed = m.CallerAllowed("strlen", "anything")
+	if constrained || !allowed {
+		t.Fatalf("unconstrained = %v,%v", constrained, allowed)
+	}
+}
+
+func TestSerializationPreservesEverything(t *testing.T) {
+	m := sampleMeta()
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entry != "main" {
+		t.Error("entry lost")
+	}
+	ct := back.CallTypes[10]
+	if !ct.Direct || !ct.Indirect || ct.Name != "mprotect" {
+		t.Errorf("call type lost: %+v", ct)
+	}
+	cs := back.Callsites[0x400204]
+	if cs.Kind != SiteIndirect || cs.TypeSig != "i64(i64)" {
+		t.Errorf("callsite lost: %+v", cs)
+	}
+	if !back.AllowedIndirect[59][0x400200] {
+		t.Error("allowed-indirect lost")
+	}
+	site := back.ArgSites[0x400100]
+	if len(site.Args) != 2 || !site.Args[0].Deref || site.Args[1].Const != -1 {
+		t.Errorf("arg site lost: %+v", site)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSummaryMentionsSyscalls(t *testing.T) {
+	s := sampleMeta().Summary()
+	for _, want := range []string{"execve", "mprotect", "direct+indirect", "2 callable syscalls"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

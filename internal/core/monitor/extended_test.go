@@ -1,0 +1,129 @@
+package monitor_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/core"
+	"bastion/internal/core/monitor"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+	"bastion/internal/vm"
+)
+
+// buildBinder constructs a guest that builds a sockaddr in a local and
+// binds a listener — the extBytes extended-argument path (§6.3.2's
+// struct-typed arguments).
+func buildBinder() *ir.Program {
+	p := guestlibc.NewProgram()
+	b := ir.NewBuilder("main", 0)
+	b.Local("sa", 16)
+	b.Local("fd", 8)
+	fd := b.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+	b.StoreLocal("fd", ir.R(fd))
+	sa := b.Lea("sa", 0)
+	b.Store(sa, 0, ir.Imm(2), 2)  // AF_INET
+	b.Store(sa, 2, ir.Imm(0), 1)  // port hi
+	b.Store(sa, 3, ir.Imm(80), 1) // port lo
+	sa2 := b.Lea("sa", 0)
+	fd2 := b.LoadLocal("fd")
+	r := b.Call("bind", ir.R(fd2), ir.R(sa2), ir.Imm(16))
+	b.Ret(ir.R(r))
+	p.AddFunc(b.Build())
+	return p
+}
+
+func launchBinder(t *testing.T) *core.Protected {
+	t.Helper()
+	art, err := core.Compile(buildBinder(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := core.Launch(art, kernel.New(nil), monitor.DefaultConfig(), vm.WithMaxSteps(1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prot
+}
+
+func TestSockaddrLegitBindPasses(t *testing.T) {
+	prot := launchBinder(t)
+	got, err := prot.Machine.CallFunction("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if int64(got) != 0 {
+		t.Fatalf("bind returned %d", int64(got))
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations: %v", prot.Monitor.Violations)
+	}
+	if !prot.Proc.HasEvent(kernel.EventSocket, "bound port 80") {
+		t.Fatalf("events: %v", prot.Proc.Events)
+	}
+}
+
+// TestSockaddrPortRewriteCaught: the classic rogue-reconfiguration attack —
+// flip the port inside the sockaddr after the program built it, without
+// touching any pointer. The extBytes pointee walk must catch it.
+func TestSockaddrPortRewriteCaught(t *testing.T) {
+	prot := launchBinder(t)
+	if err := prot.Machine.HookFunc("bind", 0, func(m *vm.Machine) error {
+		// The wrapper's p1 slot holds the sockaddr pointer; rewrite the
+		// port bytes it points to (80 -> 4444).
+		slot, err := m.SlotAddr("p1")
+		if err != nil {
+			return err
+		}
+		sa, err := m.Mem.ReadUint(slot, 8)
+		if err != nil {
+			return err
+		}
+		if err := m.Mem.WriteUint(sa+2, 0x11, 1); err != nil {
+			return err
+		}
+		return m.Mem.WriteUint(sa+3, 0x5c, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := prot.Machine.CallFunction("main")
+	var ke *vm.KillError
+	if !errors.As(err, &ke) || ke.By != "monitor" {
+		t.Fatalf("sockaddr rewrite allowed: %v", err)
+	}
+	if !strings.Contains(ke.Reason, "argument-integrity") {
+		t.Fatalf("reason = %q", ke.Reason)
+	}
+	if prot.Proc.HasEvent(kernel.EventSocket, "bound port 4444") {
+		t.Fatal("rogue bind reached the kernel")
+	}
+}
+
+// TestSockaddrPointerDiversionCaught: point the sockaddr argument at an
+// attacker-staged struct instead.
+func TestSockaddrPointerDiversionCaught(t *testing.T) {
+	prot := launchBinder(t)
+	if err := prot.Machine.HookFunc("bind", 0, func(m *vm.Machine) error {
+		if err := m.Mem.Map(ir.HeapBase, 4096, 0b011); err != nil {
+			return err
+		}
+		// Attacker sockaddr: port 31337.
+		m.Mem.WriteUint(ir.HeapBase, 2, 2)
+		m.Mem.WriteUint(ir.HeapBase+2, 31337>>8, 1)
+		m.Mem.WriteUint(ir.HeapBase+3, 31337&0xff, 1)
+		slot, err := m.SlotAddr("p1")
+		if err != nil {
+			return err
+		}
+		return m.Mem.WriteUint(slot, ir.HeapBase, 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := prot.Machine.CallFunction("main")
+	var ke *vm.KillError
+	if !errors.As(err, &ke) || ke.By != "monitor" {
+		t.Fatalf("sockaddr diversion allowed: %v", err)
+	}
+}

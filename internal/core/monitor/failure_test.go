@@ -1,0 +1,190 @@
+package monitor_test
+
+import (
+	"errors"
+	"testing"
+
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/core"
+	"bastion/internal/core/metadata"
+	"bastion/internal/core/monitor"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+	"bastion/internal/vm"
+)
+
+// buildTiny returns a program whose main performs one sensitive call.
+func buildTiny() *ir.Program {
+	p := guestlibc.NewProgram()
+	b := ir.NewBuilder("main", 0)
+	b.Call("mmap", ir.Imm(0), ir.Imm(4096), ir.Imm(3), ir.Imm(0x22), ir.Imm(-1), ir.Imm(0))
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+	return p
+}
+
+// TestStaleMetadataFailsClosed: a monitor loaded with metadata for a
+// different binary (wrong addresses) must kill at the first sensitive
+// syscall instead of allowing it.
+func TestStaleMetadataFailsClosed(t *testing.T) {
+	art, err := core.Compile(buildTiny(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: drop every callsite, as if the binary were rebuilt after
+	// the metadata was generated.
+	stale := metadata.New()
+	stale.Entry = art.Meta.Entry
+	stale.CallTypes = art.Meta.CallTypes
+	stale.Funcs = art.Meta.Funcs
+	art.Meta = stale
+
+	k := kernel.New(nil)
+	prot, err := core.Launch(art, k, monitor.DefaultConfig(), vm.WithMaxSteps(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = prot.Machine.CallFunction("main")
+	var ke *vm.KillError
+	if !errors.As(err, &ke) || ke.By != "monitor" {
+		t.Fatalf("stale metadata allowed the syscall: %v", err)
+	}
+}
+
+// TestMetadataJSONSidecarFlow: metadata serialized to JSON and reloaded
+// (the bastionc sidecar) enforces identically.
+func TestMetadataJSONSidecarFlow(t *testing.T) {
+	art, err := core.Compile(buildTiny(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := art.Meta.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := metadata.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art.Meta = reloaded
+
+	k := kernel.New(nil)
+	prot, err := core.Launch(art, k, monitor.DefaultConfig(), vm.WithMaxSteps(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prot.Machine.CallFunction("main"); err != nil {
+		t.Fatalf("legit run under reloaded metadata: %v", err)
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations: %v", prot.Monitor.Violations)
+	}
+}
+
+// TestUnwindDepthExhaustionIsViolation: a stack deeper than the unwind
+// bound cannot be verified and must be treated as a violation, not
+// silently truncated.
+func TestUnwindDepthExhaustionIsViolation(t *testing.T) {
+	p := guestlibc.NewProgram()
+	// deep(n): if n == 0 { mmap(...) } else { deep(n-1) }
+	d := ir.NewBuilder("deep", 1)
+	n := d.LoadLocal("p0")
+	z := d.Bin(ir.OpEq, ir.R(n), ir.Imm(0))
+	d.BranchNZ(ir.R(z), "base")
+	n2 := d.LoadLocal("p0")
+	dec := d.Bin(ir.OpSub, ir.R(n2), ir.Imm(1))
+	r := d.Call("deep", ir.R(dec))
+	d.Ret(ir.R(r))
+	d.Label("base")
+	r2 := d.Call("mmap", ir.Imm(0), ir.Imm(4096), ir.Imm(3), ir.Imm(0x22), ir.Imm(-1), ir.Imm(0))
+	d.Ret(ir.R(r2))
+	p.AddFunc(d.Build())
+	b := ir.NewBuilder("main", 0)
+	b.Call("deep", ir.Imm(20))
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+
+	art, err := core.Compile(p, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := monitor.DefaultConfig()
+	cfg.MaxUnwindDepth = 8 // shallower than the 20-deep recursion
+	prot, err := core.Launch(art, kernel.New(nil), cfg, vm.WithMaxSteps(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = prot.Machine.CallFunction("main")
+	var ke *vm.KillError
+	if !errors.As(err, &ke) {
+		t.Fatalf("depth-capped walk allowed: %v", err)
+	}
+	if got := prot.Monitor.ViolatedContexts(); got&monitor.ControlFlow == 0 {
+		t.Fatalf("violated = %v", got)
+	}
+}
+
+// TestInKernelMonitorEnforcesIdentically: the §11.2 in-kernel mode must
+// change only cost, never verdicts.
+func TestInKernelMonitorEnforcesIdentically(t *testing.T) {
+	// Legit run passes.
+	art, err := core.Compile(buildTiny(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := monitor.DefaultConfig()
+	cfg.InKernel = true
+	prot, err := core.Launch(art, kernel.New(nil), cfg, vm.WithMaxSteps(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prot.Machine.CallFunction("main"); err != nil {
+		t.Fatalf("in-kernel legit run: %v", err)
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations: %v", prot.Monitor.Violations)
+	}
+
+	// Attack (argument corruption at the stub boundary) is still caught.
+	art2, err := core.Compile(buildTiny(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot2, err := core.Launch(art2, kernel.New(nil), cfg, vm.WithMaxSteps(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prot2.Machine.HookFunc("mmap", 0, func(m *vm.Machine) error {
+		addr, err := m.SlotAddr("p2")
+		if err != nil {
+			return err
+		}
+		return m.Mem.WriteUint(addr, 7, 8) // PROT_RWX instead of RW
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = prot2.Machine.CallFunction("main")
+	var ke *vm.KillError
+	if !errors.As(err, &ke) || ke.By != "monitor" {
+		t.Fatalf("in-kernel monitor missed corruption: %v", err)
+	}
+}
+
+// TestShadowRegionIsMappedAtLaunch: the §7.1 launch sequence maps the
+// shadow region into the guest before execution starts.
+func TestShadowRegionIsMappedAtLaunch(t *testing.T) {
+	art, err := core.Compile(buildTiny(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := core.Launch(art, kernel.New(nil), monitor.DefaultConfig(), vm.WithMaxSteps(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Machine.Mem.Mapped(ir.ShadowBase) {
+		t.Fatal("shadow region unmapped")
+	}
+	if perm, _ := prot.Machine.Mem.PermAt(ir.ShadowBase); perm.String() != "rw-" {
+		t.Fatalf("shadow region perm = %v", perm)
+	}
+}

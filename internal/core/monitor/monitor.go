@@ -1,0 +1,873 @@
+// Package monitor implements the BASTION runtime monitor (§7): a separate
+// "process" that traps sensitive system call invocations via seccomp-BPF,
+// fetches the guest's registers, stack, and shadow memory through the
+// ptrace facility, and enforces the Call-Type, Control-Flow, and
+// Argument-Integrity contexts before allowing the call to proceed. A
+// context violation kills the protected application.
+//
+// Every piece of guest state the monitor touches is fetched through
+// kernel.Process's ptrace-style API, which charges context-switch-scale
+// cycle costs to the shared clock — the overhead structure Table 7 of the
+// paper measures.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bastion/internal/core/metadata"
+	"bastion/internal/core/shadow"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+	"bastion/internal/seccomp"
+	"bastion/internal/vm"
+)
+
+// Context is a bitmask of enforcement contexts.
+type Context uint8
+
+// Contexts.
+const (
+	CallType Context = 1 << iota
+	ControlFlow
+	ArgIntegrity
+
+	AllContexts = CallType | ControlFlow | ArgIntegrity
+)
+
+func (c Context) String() string {
+	switch c {
+	case CallType:
+		return "call-type"
+	case ControlFlow:
+		return "control-flow"
+	case ArgIntegrity:
+		return "argument-integrity"
+	}
+	s := ""
+	for _, one := range []Context{CallType, ControlFlow, ArgIntegrity} {
+		if c&one != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += one.String()
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// Mode selects how much work the monitor does per trap — the three rows of
+// Table 7.
+type Mode int
+
+// Modes.
+const (
+	// ModeFull fetches state and verifies all enabled contexts.
+	ModeFull Mode = iota
+	// ModeFetchOnly fetches registers and the stack, then allows (isolates
+	// ptrace cost).
+	ModeFetchOnly
+	// ModeHookOnly allows immediately on trap (isolates seccomp cost).
+	ModeHookOnly
+)
+
+// Costs are the monitor's own verification charges, on top of ptrace costs
+// charged by the kernel facility.
+type Costs struct {
+	TrapRoundTrip  uint64 // tracee stop + schedule monitor + resume
+	CTCheck        uint64
+	CFPerFrame     uint64
+	AIPerArg       uint64
+	PointeePerByte uint64
+}
+
+// DefaultCosts returns the calibrated monitor cost model.
+func DefaultCosts() Costs {
+	return Costs{TrapRoundTrip: 2600, CTCheck: 60, CFPerFrame: 35, AIPerArg: 90, PointeePerByte: 2}
+}
+
+// Config selects contexts, mode, and the protected syscall set.
+type Config struct {
+	Contexts Context
+	Mode     Mode
+	// ExtendFS also traps the file-system syscall set (§11.2 / Table 7).
+	ExtendFS bool
+	// AcceptFastPath applies the paper's accept/accept4 optimization
+	// (§9.2): the sockaddr out-parameter is verified as a pointer only.
+	// Disabling it forces a full pointee walk, for the ablation bench.
+	AcceptFastPath bool
+	// ReportOnly records violations without killing the guest (used by the
+	// security evaluation to observe every violated context in one run).
+	ReportOnly bool
+	// InKernel runs the monitor inside the kernel (the §11.2 eBPF design):
+	// no ptrace context switches, direct access to guest state. This is
+	// the paper's proposed optimization for extending coverage to hot
+	// system calls.
+	InKernel bool
+	// MaxUnwindDepth bounds stack walks.
+	MaxUnwindDepth int
+	Costs          Costs
+}
+
+// DefaultConfig enables everything with the fast path on.
+func DefaultConfig() Config {
+	return Config{
+		Contexts:       AllContexts,
+		Mode:           ModeFull,
+		AcceptFastPath: true,
+		MaxUnwindDepth: 64,
+		Costs:          DefaultCosts(),
+	}
+}
+
+// Violation describes one detected context violation.
+type Violation struct {
+	Context Context
+	Nr      uint32
+	Reason  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation on %s: %s", v.Context, kernel.Name(v.Nr), v.Reason)
+}
+
+// Monitor enforces the three contexts for one protected process.
+type Monitor struct {
+	Meta *metadata.Metadata
+	Cfg  Config
+
+	proc   *kernel.Process
+	shadow *shadow.Reader
+
+	// Hooks counts SECCOMP_RET_TRACE stops; ChecksByNr per syscall.
+	Hooks      uint64
+	ChecksByNr map[uint32]uint64
+	// Violations records everything detected (ReportOnly accumulates; kill
+	// mode records the fatal one).
+	Violations []Violation
+	// InitCycles is the simulated cost of monitor startup (metadata load,
+	// symbol recovery, seccomp installation).
+	InitCycles uint64
+}
+
+// Attach prepares a process for protection: maps the shadow region into
+// the guest, installs the guest-side runtime library, compiles and loads
+// the seccomp filter derived from call-type metadata, and registers the
+// monitor as tracer. Launch order mirrors §7.1.
+func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor, error) {
+	if cfg.MaxUnwindDepth == 0 {
+		cfg.MaxUnwindDepth = 64
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	m := &Monitor{
+		Meta:       meta,
+		Cfg:        cfg,
+		proc:       proc,
+		ChecksByNr: map[uint32]uint64{},
+	}
+	if err := shadow.MapRegion(proc.M.Mem); err != nil {
+		return nil, fmt.Errorf("monitor: mapping shadow region: %w", err)
+	}
+	proc.M.Runtime = shadow.NewRuntime(proc.M.Mem)
+	if cfg.InKernel {
+		m.shadow = shadow.NewReader(m.readWord)
+	} else {
+		m.shadow = shadow.NewReader(proc.ReadWord)
+	}
+
+	prog, err := m.buildFilter()
+	if err != nil {
+		return nil, err
+	}
+	if err := proc.SetSeccompFilter(prog); err != nil {
+		return nil, err
+	}
+	proc.SetTracer(m)
+
+	// Initialization cost: ELF/DWARF symbol recovery and metadata load,
+	// proportional to metadata size (§7.1; ≈21 ms for NGINX in the paper).
+	m.InitCycles = 50_000 +
+		40*uint64(len(meta.Callsites)) +
+		120*uint64(len(meta.ArgSites)) +
+		25*uint64(len(meta.Funcs))
+	proc.K.Clock.Add(m.InitCycles)
+	return m, nil
+}
+
+// buildFilter compiles call-type metadata into the seccomp program:
+// SECCOMP_RET_KILL for not-callable syscalls, SECCOMP_RET_TRACE for
+// protected callable ones, SECCOMP_RET_ALLOW otherwise (§7.1).
+func (m *Monitor) buildFilter() ([]seccomp.Insn, error) {
+	pol := &seccomp.Policy{
+		Default:   seccomp.RetAllow,
+		Actions:   map[uint32]uint32{},
+		CheckArch: true,
+	}
+	// ModeHookOnly measures pure filter cost (Table 7 row 1): the program
+	// still evaluates a comparison per protected syscall but allows instead
+	// of stopping the tracee.
+	traceAction := seccomp.RetTrace
+	if m.Cfg.Mode == ModeHookOnly {
+		traceAction = seccomp.RetAllow
+	}
+	notCallableAction := seccomp.RetKill
+	if m.Cfg.Contexts&CallType == 0 && m.Cfg.Mode == ModeFull {
+		// With the call-type context disabled (per-context security runs),
+		// route not-callable syscalls to the monitor so the remaining
+		// contexts can judge them instead of the filter killing outright.
+		notCallableAction = seccomp.RetTrace
+	}
+	for nr := range kernel.Names {
+		ct, used := m.Meta.CallTypes[nr]
+		switch {
+		case !used || !ct.Callable():
+			pol.Actions[nr] = notCallableAction
+		case kernel.IsSensitive(nr):
+			pol.Actions[nr] = traceAction
+		}
+	}
+	// exit paths must never be killed even if unused by the program body.
+	delete(pol.Actions, kernel.SysExit)
+	delete(pol.Actions, kernel.SysExitGroup)
+	if m.Cfg.ExtendFS {
+		for _, nr := range kernel.FileSystemSyscalls {
+			if ct, used := m.Meta.CallTypes[nr]; used && ct.Callable() {
+				pol.Actions[nr] = traceAction
+			}
+		}
+	}
+	return pol.Compile()
+}
+
+// Trap implements kernel.Tracer: the monitor's per-syscall enforcement.
+//
+// State fetching is as lazy as the enabled contexts allow: call-type alone
+// needs only the innermost frame, while control-flow and argument
+// integrity unwind the whole stack. The accept/accept4 fast path (§9.2)
+// verifies call type against the innermost frame only — those calls carry
+// just an out-parameter sockaddr, and the paper found specializing them
+// necessary for their per-request frequency.
+func (m *Monitor) Trap(p *kernel.Process) error {
+	m.Hooks++
+	if m.Cfg.Mode == ModeHookOnly {
+		return nil
+	}
+	var regs vm.Regs
+	if m.Cfg.InKernel {
+		regs = p.GetRegsInKernel()
+	} else {
+		p.K.Clock.Add(m.Cfg.Costs.TrapRoundTrip)
+		regs = p.GetRegs()
+	}
+	nr := uint32(regs.RAX)
+	m.ChecksByNr[nr]++
+
+	fast := m.Cfg.Mode == ModeFull && m.Cfg.AcceptFastPath &&
+		(nr == kernel.SysAccept || nr == kernel.SysAccept4)
+	needStack := m.Cfg.Mode == ModeFetchOnly ||
+		(!fast && m.Cfg.Contexts&(ControlFlow|ArgIntegrity) != 0)
+
+	var trace []stackFrame
+	var clean bool
+	var err error
+	if needStack {
+		trace, clean, err = m.unwind(regs)
+	} else {
+		trace, err = m.innermostFrame(regs)
+	}
+	if err != nil {
+		return m.flag(Violation{Context: ControlFlow, Nr: nr, Reason: "stack unwind failed: " + err.Error()})
+	}
+	if m.Cfg.Mode == ModeFetchOnly {
+		return nil
+	}
+
+	if m.Cfg.Contexts&CallType != 0 {
+		p.K.Clock.Add(m.Cfg.Costs.CTCheck)
+		if v := m.checkCallType(nr, trace); v != nil {
+			if err := m.flag(*v); err != nil {
+				return err
+			}
+		}
+	}
+	if fast {
+		// Fast path (§9.2): verify what the already-fetched innermost frame
+		// supports — the immediate callee→caller link and the constant
+		// flag arguments — and skip the full walk, binding lookups, and the
+		// sockaddr pointee (kernel-written output).
+		if m.Cfg.Contexts&ControlFlow != 0 && len(trace) == 1 {
+			p.K.Clock.Add(m.Cfg.Costs.CFPerFrame)
+			cs, ok := m.Meta.Callsites[trace[0].Ret]
+			if ok && cs.Kind == metadata.SiteDirect {
+				if constrained, allowed := m.Meta.CallerAllowed(cs.Target, cs.Caller); constrained && !allowed {
+					return m.flag(Violation{Context: ControlFlow, Nr: nr,
+						Reason: fmt.Sprintf("%s is not a valid caller of %s", cs.Caller, cs.Target)})
+				}
+			}
+		}
+		if m.Cfg.Contexts&ArgIntegrity != 0 && len(trace) == 1 {
+			if cs, ok := m.Meta.Callsites[trace[0].Ret]; ok {
+				if site, ok := m.Meta.ArgSites[cs.Addr]; ok {
+					for _, spec := range site.Args {
+						if spec.Kind != metadata.ArgConst {
+							continue
+						}
+						p.K.Clock.Add(m.Cfg.Costs.AIPerArg)
+						if regs.Arg(spec.Pos) != uint64(spec.Const) {
+							return m.flag(Violation{Context: ArgIntegrity, Nr: nr,
+								Reason: fmt.Sprintf("arg %d is %#x, expected constant %#x", spec.Pos, regs.Arg(spec.Pos), uint64(spec.Const))})
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if m.Cfg.Contexts&ControlFlow != 0 {
+		if v := m.checkControlFlow(nr, regs, trace, clean); v != nil {
+			if err := m.flag(*v); err != nil {
+				return err
+			}
+		}
+	}
+	if m.Cfg.Contexts&ArgIntegrity != 0 {
+		if v := m.checkArgIntegrity(nr, regs, trace); v != nil {
+			if err := m.flag(*v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// innermostFrame reads just the first frame of the chain (the call-type
+// context's minimal need).
+func (m *Monitor) innermostFrame(regs vm.Regs) ([]stackFrame, error) {
+	if regs.RBP == 0 {
+		return nil, nil
+	}
+	ret, err := m.readWord(regs.RBP + 8)
+	if err != nil || ret == 0 {
+		return nil, err
+	}
+	return []stackFrame{{Ret: ret, BP: regs.RBP}}, nil
+}
+
+// flag records a violation; in kill mode it returns the fatal error the
+// kernel turns into process termination.
+func (m *Monitor) flag(v Violation) error {
+	m.Violations = append(m.Violations, v)
+	if m.Cfg.ReportOnly {
+		return nil
+	}
+	return &vm.KillError{By: "monitor", Reason: v.String()}
+}
+
+// ViolatedContexts returns the union of violated contexts recorded so far.
+func (m *Monitor) ViolatedContexts() Context {
+	var c Context
+	for _, v := range m.Violations {
+		c |= v.Context
+	}
+	return c
+}
+
+// stackFrame is one unwound frame: the return address and the frame
+// pointer it was read through.
+type stackFrame struct {
+	Ret uint64
+	BP  uint64
+}
+
+// unwind walks the frame-pointer chain through ptrace reads, returning the
+// frames innermost-first. clean reports that the walk terminated at the
+// stack-bottom sentinel (the zero return address the loader plants at
+// process start); a walk that dead-ends anywhere else — a null frame
+// pointer, or the depth cap — did not reach the process base and is a
+// control-flow violation (§7.3 unwinds "until the bottom of the stack").
+func (m *Monitor) unwind(regs vm.Regs) (frames []stackFrame, clean bool, err error) {
+	bp := regs.RBP
+	for i := 0; i < m.Cfg.MaxUnwindDepth; i++ {
+		if bp == 0 {
+			return frames, false, nil
+		}
+		ret, err := m.readWord(bp + 8)
+		if err != nil {
+			return frames, false, err
+		}
+		if ret == 0 {
+			return frames, true, nil
+		}
+		frames = append(frames, stackFrame{Ret: ret, BP: bp})
+		bp, err = m.readWord(bp)
+		if err != nil {
+			return frames, false, err
+		}
+	}
+	return frames, false, nil
+}
+
+// checkCallType enforces §7.2: the syscall must be callable, and the
+// invoking callsite's kind (direct/indirect) must be permitted.
+func (m *Monitor) checkCallType(nr uint32, trace []stackFrame) *Violation {
+	ct, ok := m.Meta.CallTypes[nr]
+	if !ok || !ct.Callable() {
+		return &Violation{Context: CallType, Nr: nr, Reason: "not-callable system call invoked"}
+	}
+	if len(trace) == 0 {
+		return &Violation{Context: CallType, Nr: nr, Reason: "no invoking callsite on stack"}
+	}
+	cs, ok := m.Meta.Callsites[trace[0].Ret]
+	if !ok {
+		return &Violation{Context: CallType, Nr: nr, Reason: fmt.Sprintf("invoked from unknown callsite (ret %#x)", trace[0].Ret)}
+	}
+	switch cs.Kind {
+	case metadata.SiteDirect:
+		if !ct.Direct {
+			return &Violation{Context: CallType, Nr: nr, Reason: "direct invocation not permitted"}
+		}
+		if cs.Target != ct.Wrapper {
+			return &Violation{Context: CallType, Nr: nr, Reason: fmt.Sprintf("callsite targets %q, not wrapper %q", cs.Target, ct.Wrapper)}
+		}
+	case metadata.SiteIndirect:
+		if !ct.Indirect {
+			return &Violation{Context: CallType, Nr: nr, Reason: "indirect invocation not permitted"}
+		}
+	}
+	return nil
+}
+
+// checkControlFlow enforces §7.3: every callee→caller transition on the
+// stack must match the CFG metadata, until main (the sentinel) or a
+// legitimate indirect callsite is reached.
+func (m *Monitor) checkControlFlow(nr uint32, regs vm.Regs, trace []stackFrame, clean bool) *Violation {
+	if !clean {
+		return &Violation{Context: ControlFlow, Nr: nr, Reason: "stack walk did not reach the process base"}
+	}
+	m.proc.K.Clock.Add(m.Cfg.Costs.CFPerFrame * uint64(len(trace)+1))
+	prevFn := m.Meta.FuncAt(regs.RIP) // the wrapper containing the syscall
+	if prevFn == "" {
+		return &Violation{Context: ControlFlow, Nr: nr, Reason: "syscall executing outside known code"}
+	}
+	prevBP := uint64(0)
+	for _, fr := range trace {
+		// Frames must live in the process stack region (known to the
+		// monitor from the memory map) and ascend strictly toward the
+		// stack base: a pivot into a buffer, the heap, or globals breaks
+		// one of the two.
+		if fr.BP < ir.StackTop-ir.StackSize || fr.BP >= ir.StackTop {
+			return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("frame %#x outside the stack region (pivot)", fr.BP)}
+		}
+		if fr.BP <= prevBP {
+			return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("frame chain not ascending at %#x (stack pivot)", fr.BP)}
+		}
+		prevBP = fr.BP
+		cs, ok := m.Meta.Callsites[fr.Ret]
+		if !ok {
+			return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("return address %#x is not a callsite", fr.Ret)}
+		}
+		if cs.Kind == metadata.SiteIndirect {
+			// Verification of the partial trace ends at a legitimate
+			// indirect callsite, provided the callee is a known indirect
+			// target whose class can reach this syscall (§6.2, §7.3).
+			if !m.Meta.IndirectTargets[prevFn] {
+				return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("%s reached via indirect call but its address is never taken", prevFn)}
+			}
+			if allowed, constrained := m.Meta.AllowedIndirect[nr]; constrained != false && allowed != nil {
+				if !allowed[cs.Addr] {
+					return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("indirect callsite %#x cannot legitimately reach %s", cs.Addr, kernel.Name(nr))}
+				}
+			}
+			return nil
+		}
+		if cs.Target != prevFn {
+			return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("frame mismatch: callsite in %s targets %s, stack has %s", cs.Caller, cs.Target, prevFn)}
+		}
+		if constrained, allowed := m.Meta.CallerAllowed(prevFn, cs.Caller); constrained && !allowed {
+			return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("%s is not a valid caller of %s", cs.Caller, prevFn)}
+		}
+		prevFn = cs.Caller
+	}
+	return nil
+}
+
+// extendedKind describes monitor-side extended-argument rules (§6.3.2):
+// which (syscall, position) pairs carry pointers whose pointee must be
+// verified, and how.
+type extendedKind int
+
+const (
+	extNone extendedKind = iota
+	extCString
+	extBytes // fixed-size struct (sockaddr)
+	extOut   // out-parameter: pointer value only
+)
+
+// extendedRule returns the rule for a syscall argument position. The list
+// is short because the sensitive syscall set is short (§6.3.2).
+func extendedRule(nr uint32, pos int) extendedKind {
+	switch nr {
+	case kernel.SysExecve:
+		if pos == 1 {
+			return extCString
+		}
+	case kernel.SysExecveat:
+		if pos == 2 {
+			return extCString
+		}
+	case kernel.SysChmod:
+		if pos == 1 {
+			return extCString
+		}
+	case kernel.SysOpen, kernel.SysStat:
+		if pos == 1 {
+			return extCString
+		}
+	case kernel.SysOpenat:
+		if pos == 2 {
+			return extCString
+		}
+	case kernel.SysBind, kernel.SysConnect:
+		if pos == 2 {
+			return extBytes
+		}
+	case kernel.SysAccept, kernel.SysAccept4:
+		if pos == 2 {
+			return extOut
+		}
+	}
+	return extNone
+}
+
+// checkArgIntegrity enforces §7.4: the syscall frame's arguments are
+// verified against bindings and shadow copies; outer frames' bound
+// sensitive variables are verified shadow-vs-memory.
+func (m *Monitor) checkArgIntegrity(nr uint32, regs vm.Regs, trace []stackFrame) *Violation {
+	if len(trace) == 0 {
+		return nil
+	}
+	cs, ok := m.Meta.Callsites[trace[0].Ret]
+	if !ok {
+		// No legitimate callsite means no traced arguments exist for this
+		// invocation at all.
+		if kernel.IsSensitive(nr) {
+			return &Violation{Context: ArgIntegrity, Nr: nr,
+				Reason: fmt.Sprintf("%s invoked from unknown callsite: arguments untraceable", kernel.Name(nr))}
+		}
+		return nil
+	}
+	site, hasSite := m.Meta.ArgSites[cs.Addr]
+	if !hasSite || !site.IsSyscall {
+		// A sensitive syscall fired from a callsite whose arguments were
+		// never part of any legal invocation (§3.4: the leveraged
+		// variables are "never used by any legal system call invocation").
+		if kernel.IsSensitive(nr) {
+			return &Violation{Context: ArgIntegrity, Nr: nr,
+				Reason: fmt.Sprintf("callsite %#x has no traced arguments for %s", cs.Addr, kernel.Name(nr))}
+		}
+		return nil
+	}
+	if v := m.checkSyscallFrameArgs(nr, regs, site); v != nil {
+		return v
+	}
+	// Outer frames: verify bound sensitive variables shadow-vs-memory.
+	for _, fr := range trace[1:] {
+		ocs, ok := m.Meta.Callsites[fr.Ret]
+		if !ok {
+			return nil
+		}
+		site, ok := m.Meta.ArgSites[ocs.Addr]
+		if !ok {
+			continue
+		}
+		for _, spec := range site.Args {
+			if spec.Kind != metadata.ArgMem {
+				continue
+			}
+			m.proc.K.Clock.Add(m.Cfg.Costs.AIPerArg)
+			addr, isConst, bound, err := m.shadow.Binding(ocs.Addr, spec.Pos)
+			if err != nil || !bound || isConst {
+				continue
+			}
+			v, meta, ok, err := m.shadow.Value(addr)
+			if err != nil || !ok {
+				return &Violation{Context: ArgIntegrity, Nr: nr,
+					Reason: fmt.Sprintf("no shadow copy for sensitive variable %#x in %s frame", addr, site.Caller)}
+			}
+			size := int64(meta & shadow.MetaSizeMask)
+			if size <= 0 || size > 8 || meta&shadow.MetaDigest != 0 {
+				continue
+			}
+			cur, err := m.readGuestUint(addr, size)
+			if err != nil {
+				return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "sensitive variable unreadable"}
+			}
+			if cur != v {
+				return &Violation{Context: ArgIntegrity, Nr: nr,
+					Reason: fmt.Sprintf("sensitive variable at %#x in %s frame corrupted (%#x != shadow %#x)", addr, site.Caller, cur, v)}
+			}
+		}
+	}
+	return nil
+}
+
+// checkSyscallFrameArgs verifies the trapping syscall's own arguments.
+func (m *Monitor) checkSyscallFrameArgs(nr uint32, regs vm.Regs, site metadata.ArgSite) *Violation {
+	for _, spec := range site.Args {
+		m.proc.K.Clock.Add(m.Cfg.Costs.AIPerArg)
+		actual := regs.Arg(spec.Pos)
+		switch spec.Kind {
+		case metadata.ArgConst:
+			if actual != uint64(spec.Const) {
+				return &Violation{Context: ArgIntegrity, Nr: nr,
+					Reason: fmt.Sprintf("arg %d is %#x, expected constant %#x", spec.Pos, actual, uint64(spec.Const))}
+			}
+		case metadata.ArgMem:
+			if v := m.checkMemArg(nr, regs, site, spec, actual); v != nil {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Monitor) checkMemArg(nr uint32, regs vm.Regs, site metadata.ArgSite, spec metadata.ArgSpec, actual uint64) *Violation {
+	bound, isConst, ok, err := m.shadow.Binding(site.Addr, spec.Pos)
+	if err != nil {
+		return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "shadow binding unreadable"}
+	}
+	if !ok {
+		return &Violation{Context: ArgIntegrity, Nr: nr,
+			Reason: fmt.Sprintf("arg %d has no runtime binding (instrumentation bypassed)", spec.Pos)}
+	}
+	if isConst {
+		if actual != bound {
+			return &Violation{Context: ArgIntegrity, Nr: nr,
+				Reason: fmt.Sprintf("arg %d is %#x, expected bound constant %#x", spec.Pos, actual, bound)}
+		}
+		return nil
+	}
+	if spec.Deref {
+		// The argument is a pointer to a known object: the pointer itself
+		// must match the binding, then extended rules may verify pointee.
+		if actual != bound {
+			return &Violation{Context: ArgIntegrity, Nr: nr,
+				Reason: fmt.Sprintf("arg %d pointer %#x diverted from %#x", spec.Pos, actual, bound)}
+		}
+		return m.checkPointee(nr, spec, actual)
+	}
+	// Memory-backed value: compare the register against the shadow copy.
+	v, meta, ok, err := m.shadow.Value(bound)
+	if err != nil {
+		return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "shadow value unreadable"}
+	}
+	if !ok {
+		return &Violation{Context: ArgIntegrity, Nr: nr,
+			Reason: fmt.Sprintf("arg %d: no shadow copy for %#x", spec.Pos, bound)}
+	}
+	size := int64(meta & shadow.MetaSizeMask)
+	if meta&shadow.MetaDigest != 0 {
+		// Shadow holds a digest of a larger object; verify the pointee the
+		// register points to.
+		data := make([]byte, size)
+		if err := m.readMem(actual, data); err != nil {
+			return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "pointee unreadable"}
+		}
+		m.proc.K.Clock.Add(m.Cfg.Costs.PointeePerByte * uint64(size))
+		if shadow.Digest(data) != v {
+			return &Violation{Context: ArgIntegrity, Nr: nr,
+				Reason: fmt.Sprintf("arg %d pointee digest mismatch", spec.Pos)}
+		}
+		return nil
+	}
+	mask := ^uint64(0)
+	if size > 0 && size < 8 {
+		mask = 1<<(8*size) - 1
+	}
+	if actual&mask != v&mask {
+		return &Violation{Context: ArgIntegrity, Nr: nr,
+			Reason: fmt.Sprintf("arg %d is %#x, shadow copy says %#x", spec.Pos, actual, v)}
+	}
+	if extendedRule(nr, spec.Pos) == extCString {
+		// The value is itself a pointer (e.g. ctx->path in execve): also
+		// verify the string it points to.
+		return m.checkCStringPointee(nr, spec.Pos, actual)
+	}
+	return nil
+}
+
+// checkPointee applies the extended-argument rule for a Deref argument.
+func (m *Monitor) checkPointee(nr uint32, spec metadata.ArgSpec, ptr uint64) *Violation {
+	rule := extendedRule(nr, spec.Pos)
+	if rule == extOut && m.Cfg.AcceptFastPath {
+		return nil // paper's accept/accept4 fast path (§9.2)
+	}
+	switch rule {
+	case extCString:
+		return m.checkCStringPointee(nr, spec.Pos, ptr)
+	case extBytes:
+		return m.walkPointee(nr, spec.Pos, ptr, spec.Size, true)
+	case extOut:
+		return m.walkPointee(nr, spec.Pos, ptr, spec.Size, false)
+	}
+	return nil
+}
+
+// readCString reads a guest string via the configured access path.
+func (m *Monitor) readCString(ptr uint64, max int) (string, error) {
+	if !m.Cfg.InKernel {
+		return m.proc.ReadCString(ptr, max)
+	}
+	buf := make([]byte, max)
+	for i := 0; i < max; i += 64 {
+		end := i + 64
+		if end > max {
+			end = max
+		}
+		if err := m.proc.ReadMemInKernel(ptr+uint64(i), buf[i:end]); err != nil {
+			return "", err
+		}
+		for j := i; j < end; j++ {
+			if buf[j] == 0 {
+				return string(buf[:j]), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("monitor: unterminated string at %#x", ptr)
+}
+
+// checkCStringPointee verifies a NUL-terminated pointee byte-for-byte
+// against shadow entries, honoring the granularity instrumentation used.
+func (m *Monitor) checkCStringPointee(nr uint32, pos int, ptr uint64) *Violation {
+	s, err := m.readCString(ptr, 256)
+	if err != nil {
+		return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "extended argument string unreadable"}
+	}
+	m.proc.K.Clock.Add(m.Cfg.Costs.PointeePerByte * uint64(len(s)+1))
+	return m.verifyBytes(nr, pos, ptr, append([]byte(s), 0), true)
+}
+
+// walkPointee verifies a fixed-size pointee region. requireCoverage
+// rejects regions with no shadowed bytes at all (in-parameters must
+// originate from instrumented writes); out-parameters pass it false.
+func (m *Monitor) walkPointee(nr uint32, pos int, ptr uint64, size int64, requireCoverage bool) *Violation {
+	if size <= 0 || size > 4096 {
+		return nil
+	}
+	data := make([]byte, size)
+	if err := m.readMem(ptr, data); err != nil {
+		return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "extended argument region unreadable"}
+	}
+	m.proc.K.Clock.Add(m.Cfg.Costs.PointeePerByte * uint64(size))
+	return m.verifyBytes(nr, pos, ptr, data, requireCoverage)
+}
+
+// verifyBytes compares pointee bytes against shadow entries, walking the
+// contiguously covered prefix from the base: legitimate writers fill these
+// regions front-to-back (strings, sockaddr headers), and stopping at the
+// first uncovered byte avoids matching stale entries left at reused stack
+// addresses by unrelated earlier frames. Covered bytes must match. With
+// requireCoverage, a region whose first byte is uncovered is itself a
+// violation: the data never originated from instrumented program writes.
+func (m *Monitor) verifyBytes(nr uint32, pos int, base uint64, data []byte, requireCoverage bool) *Violation {
+	covered := int64(0)
+	for i := int64(0); i < int64(len(data)); {
+		v, meta, ok, err := m.shadow.Value(base + uint64(i))
+		if err != nil {
+			return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "shadow unreadable during pointee walk"}
+		}
+		if !ok || meta&shadow.MetaDigest != 0 {
+			break
+		}
+		size := int64(meta & shadow.MetaSizeMask)
+		if size <= 0 || size > 8 {
+			i++
+			continue
+		}
+		var cur uint64
+		for j := size - 1; j >= 0; j-- {
+			if i+j < int64(len(data)) {
+				cur = cur<<8 | uint64(data[i+j])
+			}
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		if cur&mask != v&mask {
+			return &Violation{Context: ArgIntegrity, Nr: nr,
+				Reason: fmt.Sprintf("extended arg %d corrupted at %#x (+%d)", pos, base, i)}
+		}
+		covered += size
+		i += size
+	}
+	if requireCoverage && covered == 0 && len(data) > 0 {
+		return &Violation{Context: ArgIntegrity, Nr: nr,
+			Reason: fmt.Sprintf("extended arg %d points to untraced data at %#x", pos, base)}
+	}
+	return nil
+}
+
+// readWord and readMem route guest access through ptrace or the in-kernel
+// facility per configuration.
+func (m *Monitor) readWord(addr uint64) (uint64, error) {
+	if m.Cfg.InKernel {
+		var b [8]byte
+		if err := m.proc.ReadMemInKernel(addr, b[:]); err != nil {
+			return 0, err
+		}
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+		return v, nil
+	}
+	return m.proc.ReadWord(addr)
+}
+
+func (m *Monitor) readMem(addr uint64, buf []byte) error {
+	if m.Cfg.InKernel {
+		return m.proc.ReadMemInKernel(addr, buf)
+	}
+	return m.proc.ReadMem(addr, buf)
+}
+
+func (m *Monitor) readGuestUint(addr uint64, size int64) (uint64, error) {
+	buf := make([]byte, size)
+	if err := m.readMem(addr, buf); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := len(buf) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v, nil
+}
+
+// Report renders a human-readable enforcement summary: hook counts per
+// syscall, configuration, and any violations.
+func (m *Monitor) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BASTION monitor: contexts=%s mode=%d hooks=%d\n", m.Cfg.Contexts, m.Cfg.Mode, m.Hooks)
+	nrs := make([]uint32, 0, len(m.ChecksByNr))
+	for nr := range m.ChecksByNr {
+		nrs = append(nrs, nr)
+	}
+	sort.Slice(nrs, func(i, j int) bool { return nrs[i] < nrs[j] })
+	for _, nr := range nrs {
+		fmt.Fprintf(&b, "  %-18s %d checks\n", kernel.Name(nr), m.ChecksByNr[nr])
+	}
+	if len(m.Violations) == 0 {
+		b.WriteString("  no violations\n")
+	}
+	for _, v := range m.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	return b.String()
+}

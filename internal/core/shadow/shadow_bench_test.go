@@ -1,0 +1,93 @@
+package shadow
+
+import (
+	"testing"
+
+	"bastion/internal/mem"
+)
+
+func benchSpace(b *testing.B) *mem.Space {
+	b.Helper()
+	s := mem.NewSpace()
+	if err := MapRegion(s); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkGuestPut measures the inlined ctx_write_mem table insert.
+func BenchmarkGuestPut(b *testing.B) {
+	s := benchSpace(b)
+	tab := NewTable(VMAccessor{Mem: s}, ValueBase(), ValueCap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(0x1000 + i%4096*8)
+		if err := tab.Put(key, uint64(i), 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGuestGet measures monitor-shaped lookups on a warm table.
+func BenchmarkGuestGet(b *testing.B) {
+	s := benchSpace(b)
+	tab := NewTable(VMAccessor{Mem: s}, ValueBase(), ValueCap)
+	for i := 0; i < 4096; i++ {
+		if err := tab.Put(uint64(0x1000+i*8), uint64(i), 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok, err := tab.Get(uint64(0x1000 + i%4096*8)); err != nil || !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkLoadFactor reports probe behavior at high occupancy: the
+// open-addressing design the paper's sparse-address-space store implies.
+func BenchmarkLoadFactor(b *testing.B) {
+	for _, fill := range []int{1024, 8192, 32768, 52428} { // up to ~80% of 64Ki
+		b.Run(itoa(fill), func(b *testing.B) {
+			s := benchSpace(b)
+			tab := NewTable(VMAccessor{Mem: s}, ValueBase(), ValueCap)
+			for i := 0; i < fill; i++ {
+				if err := tab.Put(uint64(0x10000+i*16), uint64(i), 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab.Get(uint64(0x10000 + (i%fill)*16))
+			}
+		})
+	}
+}
+
+// BenchmarkDigest measures the pointee digest over a page.
+func BenchmarkDigest(b *testing.B) {
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Digest(buf)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

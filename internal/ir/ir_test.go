@@ -1,0 +1,289 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTestProgram assembles a small two-function program with a global, a
+// syscall wrapper, and both call flavours.
+func buildTestProgram(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram()
+	p.AddGlobal(&Global{Name: "msg", Size: 16, Init: []byte("hi\x00")})
+
+	w := NewBuilder("sys_write", 3)
+	a0 := w.LoadLocal("p0")
+	a1 := w.LoadLocal("p1")
+	a2 := w.LoadLocal("p2")
+	w.Syscall(1, R(a0), R(a1), R(a2))
+	w.Ret(Imm(0))
+	p.AddFunc(w.Build())
+
+	m := NewBuilder("main", 0)
+	m.Local("buf", 32)
+	buf := m.Lea("buf", 0)
+	m.Store(buf, 0, Imm(42), 8)
+	v := m.Load(buf, 0, 8)
+	fp := m.FuncAddr("sys_write")
+	m.CallInd(fp, "i64(i64,i64,i64)", Imm(1), R(buf), R(v))
+	g := m.GlobalLea("msg", 0)
+	m.Call("sys_write", Imm(1), R(g), Imm(3))
+	m.Label("loop")
+	c := m.Bin(OpEq, R(v), Imm(42))
+	m.BranchNZ(R(c), "done")
+	m.Jump("loop")
+	m.Label("done")
+	m.Ret(Imm(0))
+	p.AddFunc(m.Build())
+
+	if err := p.Link(); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p
+}
+
+func TestLinkAssignsDisjointAddresses(t *testing.T) {
+	p := buildTestProgram(t)
+	w, m := p.Func("sys_write"), p.Func("main")
+	if w.Base < CodeBase || m.Base < CodeBase {
+		t.Fatalf("function bases below CodeBase: %#x %#x", w.Base, m.Base)
+	}
+	wEnd := w.Base + uint64(len(w.Code))*InstrSize
+	if m.Base < wEnd {
+		t.Fatalf("main base %#x overlaps sys_write end %#x", m.Base, wEnd)
+	}
+	if g := p.GlobalByName("msg"); g.Addr != DataBase {
+		t.Fatalf("first global at %#x, want %#x", g.Addr, DataBase)
+	}
+}
+
+func TestFuncAtRoundTrip(t *testing.T) {
+	p := buildTestProgram(t)
+	for _, f := range p.Funcs {
+		for i := range f.Code {
+			got, idx := p.FuncAt(f.InstrAddr(i))
+			if got != f || idx != i {
+				t.Fatalf("FuncAt(%#x) = %v,%d want %s,%d", f.InstrAddr(i), got, idx, f.Name, i)
+			}
+		}
+	}
+	if f, _ := p.FuncAt(0xdeadbeef); f != nil {
+		t.Fatalf("FuncAt(non-code) = %s, want nil", f.Name)
+	}
+	// Misaligned addresses are not instruction boundaries.
+	m := p.Func("main")
+	if f, _ := p.FuncAt(m.Base + 1); f != nil {
+		t.Fatal("FuncAt(misaligned) should be nil")
+	}
+}
+
+func TestSlotLayout(t *testing.T) {
+	b := NewBuilder("f", 2)
+	b.Local("small", 3) // padded to 8
+	b.Local("buf", 16)
+	b.Ret(Imm(0))
+	f := b.Build()
+
+	if got := f.SlotOffset(0); got != 0 {
+		t.Fatalf("p0 offset = %d", got)
+	}
+	if got := f.SlotOffset(1); got != 8 {
+		t.Fatalf("p1 offset = %d", got)
+	}
+	if got := f.SlotOffset(2); got != 16 {
+		t.Fatalf("small offset = %d", got)
+	}
+	if got := f.SlotOffset(3); got != 24 {
+		t.Fatalf("buf offset = %d", got)
+	}
+	if got := f.FrameLocalSize(); got != 40 {
+		t.Fatalf("frame size = %d, want 40", got)
+	}
+	if got := f.SlotIndex("buf"); got != 3 {
+		t.Fatalf("SlotIndex(buf) = %d", got)
+	}
+	if got := f.SlotIndex("nope"); got != -1 {
+		t.Fatalf("SlotIndex(nope) = %d", got)
+	}
+}
+
+func TestSyscallWrapperDetection(t *testing.T) {
+	p := buildTestProgram(t)
+	w := p.Func("sys_write")
+	if !IsSyscallWrapper(w) {
+		t.Fatal("sys_write not detected as wrapper")
+	}
+	if nr, ok := SyscallNumber(w); !ok || nr != 1 {
+		t.Fatalf("SyscallNumber = %d,%v", nr, ok)
+	}
+	m := p.Func("main")
+	if IsSyscallWrapper(m) {
+		t.Fatal("main detected as wrapper")
+	}
+	if _, ok := SyscallNumber(m); ok {
+		t.Fatal("SyscallNumber(main) ok")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Program
+		want  string
+	}{
+		{"missing entry", func() *Program {
+			p := NewProgram()
+			b := NewBuilder("f", 0)
+			b.Ret(Imm(0))
+			p.AddFunc(b.Build())
+			return p
+		}, "entry function"},
+		{"bad register", func() *Program {
+			p := NewProgram()
+			b := NewBuilder("main", 0)
+			b.Emit(Instr{Kind: Mov, Dst: 99, Src: Imm(1)})
+			b.Ret(Imm(0))
+			p.AddFunc(b.Build())
+			return p
+		}, "out of range"},
+		{"undefined callee", func() *Program {
+			p := NewProgram()
+			b := NewBuilder("main", 0)
+			b.Emit(Instr{Kind: Call, Dst: b.Reg(), Sym: "ghost"})
+			b.Ret(Imm(0))
+			p.AddFunc(b.Build())
+			return p
+		}, "undefined function"},
+		{"arity mismatch", func() *Program {
+			p := NewProgram()
+			cb := NewBuilder("callee", 2)
+			cb.Ret(Imm(0))
+			p.AddFunc(cb.Build())
+			b := NewBuilder("main", 0)
+			b.Call("callee", Imm(1))
+			b.Ret(Imm(0))
+			p.AddFunc(b.Build())
+			return p
+		}, "args, want"},
+		{"undefined label", func() *Program {
+			p := NewProgram()
+			b := NewBuilder("main", 0)
+			b.Jump("nowhere")
+			p.AddFunc(b.Build())
+			return p
+		}, "undefined label"},
+		{"bad width", func() *Program {
+			p := NewProgram()
+			b := NewBuilder("main", 0)
+			r := b.Const(0)
+			b.Emit(Instr{Kind: Load, Dst: b.Reg(), Addr: r, Size: 3})
+			b.Ret(Imm(0))
+			p.AddFunc(b.Build())
+			return p
+		}, "invalid access width"},
+		{"missing terminator", func() *Program {
+			p := NewProgram()
+			b := NewBuilder("main", 0)
+			b.Const(1)
+			p.AddFunc(b.Build())
+			return p
+		}, "does not end in ret"},
+		{"two syscalls in one wrapper", func() *Program {
+			p := NewProgram()
+			b := NewBuilder("main", 0)
+			b.Syscall(0)
+			b.Syscall(1)
+			b.Ret(Imm(0))
+			p.AddFunc(b.Build())
+			return p
+		}, "want exactly 1"},
+		{"undefined global", func() *Program {
+			p := NewProgram()
+			b := NewBuilder("main", 0)
+			b.GlobalLea("ghost", 0)
+			b.Ret(Imm(0))
+			p.AddFunc(b.Build())
+			return p
+		}, "undefined global"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Validate()
+			if err == nil {
+				t.Fatal("Validate passed, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsGoodProgram(t *testing.T) {
+	buildTestProgram(t) // fails the test on validation error
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate function")
+		}
+	}()
+	p := NewProgram()
+	b1 := NewBuilder("f", 0)
+	b1.Ret(Imm(0))
+	p.AddFunc(b1.Build())
+	b2 := NewBuilder("f", 0)
+	b2.Ret(Imm(0))
+	p.AddFunc(b2.Build())
+}
+
+func TestPrintRoundTripsKeySyntax(t *testing.T) {
+	p := buildTestProgram(t)
+	s := p.String()
+	for _, want := range []string{
+		"func main(params 0,",
+		"local buf: 32",
+		"syscall(1,",
+		"callind",
+		"global msg: 16",
+		"bnz",
+		" done:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("program listing missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLinkResolvesLabels(t *testing.T) {
+	p := buildTestProgram(t)
+	m := p.Func("main")
+	for i := range m.Code {
+		in := &m.Code[i]
+		if in.Kind == Jump || in.Kind == BranchNZ {
+			if in.ToIndex < 0 || in.ToIndex >= len(m.Code) {
+				t.Fatalf("instr %d: unresolved branch target %d", i, in.ToIndex)
+			}
+		}
+	}
+}
+
+func TestOperandAndOpStrings(t *testing.T) {
+	if got := R(3).String(); got != "r3" {
+		t.Fatalf("R(3) = %q", got)
+	}
+	if got := Imm(-7).String(); got != "-7" {
+		t.Fatalf("Imm(-7) = %q", got)
+	}
+	if got := OpAdd.String(); got != "add" {
+		t.Fatalf("OpAdd = %q", got)
+	}
+	if got := CtxWriteMem.String(); got != "ctx_write_mem" {
+		t.Fatalf("CtxWriteMem = %q", got)
+	}
+}

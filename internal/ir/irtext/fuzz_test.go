@@ -1,0 +1,39 @@
+package irtext_test
+
+import (
+	"testing"
+
+	"bastion/internal/apps/nginx"
+	"bastion/internal/ir/irtext"
+)
+
+// FuzzParse hardens the parser against malformed listings: it must never
+// panic, and anything it accepts must print and reparse to a fixed point.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add(nginx.Build().String())
+	f.Add("global g: 8\n")
+	f.Add("func f(params 0, regs 1) {\n  ret 0\n}\n")
+	f.Add("func f(params 2, regs 300) {\n  r299 = const 1\n  ret r299\n}\n")
+	f.Add("func f(params 0, regs 1) {\n  store8 [r0+-9], 3\n  ret 0\n}\n")
+	f.Add("func f(params 0, regs 1) sig \"i64()\" {\n  jmp l\n l:\n  jmp l\n}\n")
+	f.Add("func f(params 0, regs 2) {\n  ctx_bind_mem_3(r1) site 0\n  ret 0\n}\n")
+	// Regression seeds: inputs that crashed earlier parser versions
+	// (duplicate unnamed globals; empty memory reference).
+	f.Add("global :0=\"00000000\"\nglobal :0")
+	f.Add(" global 0:0= \"00000000\"\nglobal 1:000\nfunc 0(params 0)000000000000000000000000000000000000000000\n  r00= load0 []")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := irtext.Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		text := p.String()
+		p2, err := irtext.Parse(text)
+		if err != nil {
+			t.Fatalf("accepted program does not reparse: %v\n%s", err, text)
+		}
+		if p2.String() != text {
+			t.Fatalf("accepted program is not a print fixed point")
+		}
+	})
+}

@@ -1,0 +1,617 @@
+// Package irtext parses the textual IR syntax produced by
+// ir.Program.String, so instrumented listings dumped by bastionc can be
+// reloaded, diffed, and executed. The grammar is line-oriented:
+//
+//	global msg: 16 = "hi\x00"
+//
+//	func main(params 0, regs 4) sig "i64()" {
+//	  local buf: 32
+//	 loop:
+//	  r0 = const 5
+//	  r1 = add r0, 1
+//	  r2 = load8 [r1+0]
+//	  store8 [r1+8], r2
+//	  r3 = call strlen(r1)
+//	  bnz r3, loop
+//	  ret r3
+//	}
+package irtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bastion/internal/ir"
+)
+
+// Parse reads a whole program.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{prog: ir.NewProgram()}
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		t := strings.TrimSpace(line)
+		switch {
+		case t == "":
+		case strings.HasPrefix(t, "global "):
+			if err := p.global(t); err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+		case strings.HasPrefix(t, "func "):
+			end, err := p.function(lines, i)
+			if err != nil {
+				return nil, err
+			}
+			i = end
+		default:
+			return nil, fmt.Errorf("line %d: unexpected %q", i+1, t)
+		}
+	}
+	if err := p.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+type parser struct {
+	prog *ir.Program
+}
+
+func stripComment(line string) string {
+	// Comments start with "  ; " outside of string literals.
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// global syntax: global name: size [= "init"]
+func (p *parser) global(t string) error {
+	rest := strings.TrimPrefix(t, "global ")
+	name, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("malformed global %q", t)
+	}
+	rest = strings.TrimSpace(rest)
+	sizeStr, initStr, hasInit := strings.Cut(rest, "=")
+	size, err := strconv.ParseInt(strings.TrimSpace(sizeStr), 10, 64)
+	if err != nil {
+		return fmt.Errorf("global size: %w", err)
+	}
+	g := &ir.Global{Name: strings.TrimSpace(name), Size: size}
+	if g.Name == "" {
+		return fmt.Errorf("global with empty name")
+	}
+	if p.prog.GlobalByName(g.Name) != nil {
+		return fmt.Errorf("duplicate global %q", g.Name)
+	}
+	if hasInit {
+		s, err := strconv.Unquote(strings.TrimSpace(initStr))
+		if err != nil {
+			return fmt.Errorf("global init: %w", err)
+		}
+		g.Init = []byte(s)
+	}
+	p.prog.AddGlobal(g)
+	return nil
+}
+
+// function parses from the "func" line to the closing brace, returning the
+// index of the closing line.
+func (p *parser) function(lines []string, start int) (int, error) {
+	head := strings.TrimSpace(stripComment(lines[start]))
+	name, params, regs, sig, err := parseHeader(head)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: %w", start+1, err)
+	}
+	if name == "" {
+		return 0, fmt.Errorf("line %d: function with empty name", start+1)
+	}
+	if p.prog.Func(name) != nil {
+		return 0, fmt.Errorf("line %d: duplicate function %q", start+1, name)
+	}
+	if params < 0 || params > 16 || regs < 0 || regs > 256 {
+		return 0, fmt.Errorf("line %d: implausible header (params %d, regs %d)", start+1, params, regs)
+	}
+	fb := &funcBuilder{
+		fn: name, numParams: params, numRegs: regs, sig: sig,
+		labels: map[string]int{},
+		slots:  map[string]int{},
+	}
+	for i := 0; i < params; i++ {
+		fb.slots[fmt.Sprintf("p%d", i)] = i
+	}
+	i := start + 1
+	for ; i < len(lines); i++ {
+		t := strings.TrimSpace(stripComment(lines[i]))
+		switch {
+		case t == "":
+		case t == "}":
+			f, err := fb.build()
+			if err != nil {
+				return 0, fmt.Errorf("line %d: %w", start+1, err)
+			}
+			p.prog.AddFunc(f)
+			return i, nil
+		case strings.HasPrefix(t, "local "):
+			if err := fb.local(t); err != nil {
+				return 0, fmt.Errorf("line %d: %w", i+1, err)
+			}
+		case strings.HasSuffix(t, ":") && !strings.Contains(t, " "):
+			label := strings.TrimSuffix(t, ":")
+			if label == "" {
+				return 0, fmt.Errorf("line %d: empty label", i+1)
+			}
+			if _, dup := fb.labels[label]; dup {
+				return 0, fmt.Errorf("line %d: duplicate label %q", i+1, label)
+			}
+			fb.labels[label] = len(fb.code)
+		default:
+			if err := fb.instr(t); err != nil {
+				return 0, fmt.Errorf("line %d: %w", i+1, err)
+			}
+		}
+	}
+	return 0, fmt.Errorf("line %d: unterminated function %s", start+1, name)
+}
+
+// parseHeader handles: func NAME(params N, regs M) [sig "..."]
+func parseHeader(t string) (name string, params, regs int, sig string, err error) {
+	rest := strings.TrimPrefix(t, "func ")
+	name, rest, ok := strings.Cut(rest, "(")
+	if !ok {
+		return "", 0, 0, "", fmt.Errorf("malformed header %q", t)
+	}
+	name = strings.TrimSpace(name)
+	inner, rest, ok := strings.Cut(rest, ")")
+	if !ok {
+		return "", 0, 0, "", fmt.Errorf("malformed header %q", t)
+	}
+	for _, part := range strings.Split(inner, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return "", 0, 0, "", fmt.Errorf("malformed header field %q", part)
+		}
+		v, cerr := strconv.Atoi(fields[1])
+		if cerr != nil {
+			return "", 0, 0, "", cerr
+		}
+		switch fields[0] {
+		case "params":
+			params = v
+		case "regs":
+			regs = v
+		default:
+			return "", 0, 0, "", fmt.Errorf("unknown header field %q", fields[0])
+		}
+	}
+	rest = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "{"))
+	if strings.HasPrefix(rest, "sig ") {
+		s, cerr := strconv.Unquote(strings.TrimSpace(strings.TrimPrefix(rest, "sig ")))
+		if cerr != nil {
+			return "", 0, 0, "", fmt.Errorf("sig: %w", cerr)
+		}
+		sig = s
+	}
+	return name, params, regs, sig, nil
+}
+
+type funcBuilder struct {
+	fn        string
+	numParams int
+	numRegs   int
+	sig       string
+	locals    []ir.Slot
+	slots     map[string]int
+	labels    map[string]int
+	code      []ir.Instr
+}
+
+func (fb *funcBuilder) local(t string) error {
+	rest := strings.TrimPrefix(t, "local ")
+	name, sizeStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("malformed local %q", t)
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(sizeStr), 10, 64)
+	if err != nil {
+		return err
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return fmt.Errorf("local with empty name")
+	}
+	if _, dup := fb.slots[name]; dup {
+		return fmt.Errorf("duplicate local %q", name)
+	}
+	if size < 0 || size > 1<<20 {
+		return fmt.Errorf("implausible local size %d", size)
+	}
+	fb.locals = append(fb.locals, ir.Slot{Name: name, Size: size})
+	fb.slots[name] = fb.numParams + len(fb.locals) - 1
+	return nil
+}
+
+func (fb *funcBuilder) build() (*ir.Function, error) {
+	b := ir.NewBuilder(fb.fn, fb.numParams)
+	if fb.sig != "" {
+		b.SetTypeSig(fb.sig)
+	}
+	for _, s := range fb.locals {
+		b.Local(s.Name, s.Size)
+	}
+	// Pre-size the register file: Build() takes the max allocated; emit a
+	// sentinel allocation pattern by requesting registers up front.
+	for i := 0; i < fb.numRegs; i++ {
+		b.Reg()
+	}
+	byIndex := map[int][]string{}
+	for name, idx := range fb.labels {
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+	for idx, in := range fb.code {
+		for _, l := range byIndex[idx] {
+			b.Label(l)
+		}
+		b.Emit(in)
+	}
+	for _, l := range byIndex[len(fb.code)] {
+		b.Label(l)
+	}
+	return b.Build(), nil
+}
+
+// operand parses "r4" or a signed integer.
+func operand(tok string) (ir.Operand, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.HasPrefix(tok, "r") {
+		if n, err := strconv.Atoi(tok[1:]); err == nil {
+			return ir.R(ir.Reg(n)), nil
+		}
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return ir.Operand{}, fmt.Errorf("bad operand %q", tok)
+	}
+	return ir.Imm(v), nil
+}
+
+func reg(tok string) (ir.Reg, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "r") {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return ir.Reg(n), nil
+}
+
+// memRef parses "[rN+OFF]" (or "[rN-OFF]").
+func memRef(tok string) (ir.Reg, int64, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, fmt.Errorf("bad memory reference %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	if len(inner) < 2 {
+		return 0, 0, fmt.Errorf("bad memory reference %q", tok)
+	}
+	sep := strings.IndexAny(inner[1:], "+-")
+	if sep < 0 {
+		r, err := reg(inner)
+		return r, 0, err
+	}
+	sep++
+	r, err := reg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(inner[sep:], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+// args splits "a, b, c" honoring emptiness.
+func argList(s string) ([]ir.Operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []ir.Operand
+	for _, part := range strings.Split(s, ",") {
+		o, err := operand(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+var binOps = map[string]ir.Op{
+	"add": ir.OpAdd, "sub": ir.OpSub, "mul": ir.OpMul, "div": ir.OpDiv,
+	"mod": ir.OpMod, "and": ir.OpAnd, "or": ir.OpOr, "xor": ir.OpXor,
+	"shl": ir.OpShl, "shr": ir.OpShr, "eq": ir.OpEq, "ne": ir.OpNe,
+	"lt": ir.OpLt, "le": ir.OpLe, "gt": ir.OpGt, "ge": ir.OpGe,
+}
+
+// instr parses one instruction line.
+func (fb *funcBuilder) instr(t string) error {
+	// Non-assignment forms first.
+	switch {
+	case strings.HasPrefix(t, "store"):
+		return fb.store(t)
+	case strings.HasPrefix(t, "jmp "):
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Jump, Label: strings.TrimSpace(t[4:])})
+		return nil
+	case strings.HasPrefix(t, "bnz "):
+		rest := strings.TrimPrefix(t, "bnz ")
+		condStr, label, ok := strings.Cut(rest, ",")
+		if !ok {
+			return fmt.Errorf("malformed bnz %q", t)
+		}
+		cond, err := operand(condStr)
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.BranchNZ, Src: cond, Label: strings.TrimSpace(label)})
+		return nil
+	case strings.HasPrefix(t, "ret "):
+		v, err := operand(strings.TrimPrefix(t, "ret "))
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Ret, Src: v})
+		return nil
+	case strings.HasPrefix(t, "ctx_write_mem("):
+		inner := strings.TrimSuffix(strings.TrimPrefix(t, "ctx_write_mem("), ")")
+		addrStr, sizeStr, ok := strings.Cut(inner, ",")
+		if !ok {
+			return fmt.Errorf("malformed %q", t)
+		}
+		r, err := reg(addrStr)
+		if err != nil {
+			return err
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(sizeStr), 10, 64)
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Intrinsic, IK: ir.CtxWriteMem, Addr: r, Size: size})
+		return nil
+	case strings.HasPrefix(t, "ctx_bind_mem_"):
+		return fb.bind(t, true)
+	case strings.HasPrefix(t, "ctx_bind_const_"):
+		return fb.bind(t, false)
+	}
+
+	// Assignment forms: "rN = ..."
+	dstStr, rhs, ok := strings.Cut(t, "=")
+	if !ok {
+		return fmt.Errorf("unrecognized instruction %q", t)
+	}
+	dst, err := reg(dstStr)
+	if err != nil {
+		return err
+	}
+	rhs = strings.TrimSpace(rhs)
+	switch {
+	case strings.HasPrefix(rhs, "const "):
+		v, err := strconv.ParseInt(strings.TrimSpace(rhs[6:]), 10, 64)
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Const, Dst: dst, Imm: v})
+	case strings.HasPrefix(rhs, "mov "):
+		src, err := operand(rhs[4:])
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Mov, Dst: dst, Src: src})
+	case strings.HasPrefix(rhs, "load"):
+		szStr, mem, ok := strings.Cut(rhs[4:], " ")
+		if !ok {
+			return fmt.Errorf("malformed load %q", rhs)
+		}
+		size, err := strconv.ParseInt(szStr, 10, 64)
+		if err != nil {
+			return err
+		}
+		r, off, err := memRef(mem)
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Load, Dst: dst, Addr: r, Off: off, Size: size})
+	case strings.HasPrefix(rhs, "lea @"):
+		sym, off, err := symOff(rhs[5:])
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.GlobalAddr, Dst: dst, Sym: sym, Off: off})
+	case strings.HasPrefix(rhs, "lea slot"):
+		slotStr, off, err := symOff(rhs[8:])
+		if err != nil {
+			return err
+		}
+		slot, err := strconv.Atoi(slotStr)
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.LocalAddr, Dst: dst, Slot: slot, Off: off})
+	case strings.HasPrefix(rhs, "funcaddr "):
+		fb.code = append(fb.code, ir.Instr{Kind: ir.FuncAddr, Dst: dst, Sym: strings.TrimSpace(rhs[9:])})
+	case strings.HasPrefix(rhs, "callind "):
+		rest := strings.TrimPrefix(rhs, "callind ")
+		targetStr, rest, ok := strings.Cut(rest, "(")
+		if !ok {
+			return fmt.Errorf("malformed callind %q", rhs)
+		}
+		target, err := reg(targetStr)
+		if err != nil {
+			return err
+		}
+		argsStr, rest, ok := strings.Cut(rest, ")")
+		if !ok {
+			return fmt.Errorf("malformed callind %q", rhs)
+		}
+		args, err := argList(argsStr)
+		if err != nil {
+			return err
+		}
+		sig := ""
+		rest = strings.TrimSpace(rest)
+		if strings.HasPrefix(rest, "sig ") {
+			sig, err = strconv.Unquote(strings.TrimSpace(rest[4:]))
+			if err != nil {
+				return err
+			}
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.CallInd, Dst: dst, Target: target, Args: args, TypeSig: sig})
+	case strings.HasPrefix(rhs, "call "):
+		rest := strings.TrimPrefix(rhs, "call ")
+		name, argsStr, ok := strings.Cut(rest, "(")
+		if !ok {
+			return fmt.Errorf("malformed call %q", rhs)
+		}
+		argsStr = strings.TrimSuffix(strings.TrimSpace(argsStr), ")")
+		args, err := argList(argsStr)
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Call, Dst: dst, Sym: strings.TrimSpace(name), Args: args})
+	case strings.HasPrefix(rhs, "syscall("):
+		argsStr := strings.TrimSuffix(strings.TrimPrefix(rhs, "syscall("), ")")
+		args, err := argList(argsStr)
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Syscall, Dst: dst, Args: args})
+	default:
+		// Binary operation: "op a, b".
+		opName, rest, ok := strings.Cut(rhs, " ")
+		if !ok {
+			return fmt.Errorf("unrecognized instruction %q", t)
+		}
+		op, known := binOps[opName]
+		if !known {
+			return fmt.Errorf("unknown operation %q", opName)
+		}
+		aStr, bStr, ok := strings.Cut(rest, ",")
+		if !ok {
+			return fmt.Errorf("malformed %q", t)
+		}
+		a, err := operand(aStr)
+		if err != nil {
+			return err
+		}
+		bOp, err := operand(bStr)
+		if err != nil {
+			return err
+		}
+		fb.code = append(fb.code, ir.Instr{Kind: ir.Bin, Dst: dst, Op: op, A: a, B: bOp})
+	}
+	return nil
+}
+
+// symOff parses "name+off" / "name-off" / "name".
+func symOff(s string) (string, int64, error) {
+	s = strings.TrimSpace(s)
+	idx := strings.LastIndexAny(s, "+-")
+	if idx <= 0 {
+		return s, 0, nil
+	}
+	off, err := strconv.ParseInt(s[idx:], 10, 64)
+	if err != nil {
+		return s, 0, nil // name contains +/-? treat whole as symbol
+	}
+	return s[:idx], off, nil
+}
+
+// store syntax: storeN [rA+off], src
+func (fb *funcBuilder) store(t string) error {
+	rest := strings.TrimPrefix(t, "store")
+	szStr, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("malformed store %q", t)
+	}
+	size, err := strconv.ParseInt(szStr, 10, 64)
+	if err != nil {
+		return err
+	}
+	memStr, srcStr, ok := strings.Cut(rest, ",")
+	if !ok {
+		return fmt.Errorf("malformed store %q", t)
+	}
+	r, off, err := memRef(memStr)
+	if err != nil {
+		return err
+	}
+	src, err := operand(srcStr)
+	if err != nil {
+		return err
+	}
+	fb.code = append(fb.code, ir.Instr{Kind: ir.Store, Addr: r, Off: off, Src: src, Size: size})
+	return nil
+}
+
+// bind syntax: ctx_bind_mem_3(r4) site 12  /  ctx_bind_const_1(-1) site 12
+func (fb *funcBuilder) bind(t string, isMem bool) error {
+	prefix := "ctx_bind_const_"
+	if isMem {
+		prefix = "ctx_bind_mem_"
+	}
+	rest := strings.TrimPrefix(t, prefix)
+	posStr, rest, ok := strings.Cut(rest, "(")
+	if !ok {
+		return fmt.Errorf("malformed bind %q", t)
+	}
+	pos, err := strconv.Atoi(posStr)
+	if err != nil {
+		return err
+	}
+	argStr, rest, ok := strings.Cut(rest, ")")
+	if !ok {
+		return fmt.Errorf("malformed bind %q", t)
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "site ") {
+		return fmt.Errorf("bind missing site in %q", t)
+	}
+	site, err := strconv.Atoi(strings.TrimSpace(rest[5:]))
+	if err != nil {
+		return err
+	}
+	in := ir.Instr{Kind: ir.Intrinsic, Pos: pos, BindSite: site}
+	if isMem {
+		in.IK = ir.CtxBindMem
+		r, err := reg(argStr)
+		if err != nil {
+			return err
+		}
+		in.Addr = r
+	} else {
+		in.IK = ir.CtxBindConst
+		v, err := strconv.ParseInt(strings.TrimSpace(argStr), 10, 64)
+		if err != nil {
+			return err
+		}
+		in.Imm = v
+	}
+	fb.code = append(fb.code, in)
+	return nil
+}

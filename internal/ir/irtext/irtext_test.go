@@ -1,0 +1,168 @@
+package irtext_test
+
+import (
+	"strings"
+	"testing"
+
+	"bastion/internal/apps/nginx"
+	"bastion/internal/apps/sqlitedb"
+	"bastion/internal/apps/vsftpd"
+	"bastion/internal/core"
+	"bastion/internal/ir"
+	"bastion/internal/ir/irtext"
+	"bastion/internal/vm"
+)
+
+const sample = `
+global msg: 16 = "hello\x00"
+global counter: 8
+
+func double(params 1, regs 2) sig "i64(i64)" {
+  r0 = lea slot0+0
+  r1 = load8 [r0+0]
+  r1 = mul r1, 2
+  ret r1
+}
+
+func main(params 0, regs 8) {
+  local buf: 32
+ start:
+  r0 = const 5
+  r1 = call double(r0)
+  r2 = lea @counter+0
+  store8 [r2+0], r1
+  r3 = lea slot0+8
+  store1 [r3+0], 65
+  r4 = funcaddr double
+  r5 = callind r4(r1) sig "i64(i64)"
+  r6 = eq r5, 20
+  bnz r6, done
+  jmp start
+ done:
+  ret r5
+}
+`
+
+func TestParseAndRun(t *testing.T) {
+	p, err := irtext.Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 1 << 16
+	got, err := m.CallFunction("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 20 { // double(double(5)) = 20
+		t.Fatalf("got %d, want 20", got)
+	}
+	g := p.GlobalByName("msg")
+	if g == nil || g.Size != 16 || string(g.Init) != "hello\x00" {
+		t.Fatalf("global msg = %+v", g)
+	}
+}
+
+func TestRoundTripSample(t *testing.T) {
+	p1, err := irtext.Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := p1.String()
+	p2, err := irtext.Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text1)
+	}
+	text2 := p2.String()
+	if text1 != text2 {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+// TestRoundTripApplications prints and reparses every full guest
+// application, including after BASTION instrumentation, and checks the
+// listing is a fixed point.
+func TestRoundTripApplications(t *testing.T) {
+	builders := map[string]func() *ir.Program{
+		"nginx":  nginx.Build,
+		"sqlite": sqlitedb.Build,
+		"vsftpd": vsftpd.Build,
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			roundTrip(t, build())
+		})
+		t.Run(name+"-instrumented", func(t *testing.T) {
+			art, err := core.Compile(build(), core.CompileOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, art.Prog)
+		})
+	}
+}
+
+func roundTrip(t *testing.T, p *ir.Program) {
+	t.Helper()
+	text1 := p.String()
+	p2, err := irtext.Parse(text1)
+	if err != nil {
+		t.Fatalf("parse of printed listing failed: %v", err)
+	}
+	text2 := p2.String()
+	if text1 != text2 {
+		// Find the first diverging line for a useful failure message.
+		l1, l2 := strings.Split(text1, "\n"), strings.Split(text2, "\n")
+		for i := 0; i < len(l1) && i < len(l2); i++ {
+			if l1[i] != l2[i] {
+				t.Fatalf("listing diverges at line %d:\n  printed:  %q\n  reparsed: %q", i+1, l1[i], l2[i])
+			}
+		}
+		t.Fatalf("listing lengths differ: %d vs %d lines", len(l1), len(l2))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"garbage", "wibble\n", "unexpected"},
+		{"bad global", "global x 8\n", "malformed global"},
+		{"unterminated func", "func f(params 0, regs 1) {\n  ret 0\n", "unterminated"},
+		{"bad instr", "func main(params 0, regs 1) {\n  r0 = zorp 1, 2\n  ret 0\n}\n", "unknown operation"},
+		{"bad reg", "func main(params 0, regs 1) {\n  q0 = const 1\n  ret 0\n}\n", "bad register"},
+		{"bad store", "func main(params 0, regs 1) {\n  store8 r0, 1\n  ret 0\n}\n", "bad memory reference"},
+		{"undefined label", "func main(params 0, regs 1) {\n  jmp nowhere\n}\n", "undefined label"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := irtext.Parse(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := "func main(params 0, regs 1) {\n  r0 = const 7  ; lucky\n  ret r0\n}\n"
+	p, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := vm.New(p)
+	m.MaxSteps = 100
+	got, err := m.CallFunction("main")
+	if err != nil || got != 7 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}

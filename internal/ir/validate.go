@@ -1,0 +1,172 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks structural well-formedness of a program: register bounds,
+// resolved branch targets, existing call targets and globals, slot indices,
+// load/store widths, and syscall placement (only inside wrapper functions
+// whose body is a single syscall plus moves/returns). It returns all
+// problems found, joined.
+func (p *Program) Validate() error {
+	var errs []error
+	if p.Func(p.Entry) == nil {
+		errs = append(errs, fmt.Errorf("ir: entry function %q not defined", p.Entry))
+	}
+	for _, f := range p.Funcs {
+		if err := p.validateFunc(f); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (p *Program) validateFunc(f *Function) error {
+	var errs []error
+	bad := func(i int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("ir: %s+%d: %s", f.Name, i, fmt.Sprintf(format, args...)))
+	}
+	nslots := f.NumParams + len(f.Locals)
+	checkReg := func(i int, r Reg, what string) {
+		if r < 0 || int(r) >= f.NumRegs {
+			bad(i, "%s register r%d out of range [0,%d)", what, r, f.NumRegs)
+		}
+	}
+	checkOp := func(i int, o Operand, what string) {
+		if o.Kind == OperandReg {
+			checkReg(i, o.Reg, what)
+		}
+	}
+	checkWidth := func(i int, sz int64) {
+		switch sz {
+		case 1, 2, 4, 8:
+		default:
+			bad(i, "invalid access width %d", sz)
+		}
+	}
+	sawSyscall := false
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Kind {
+		case Const:
+			checkReg(i, in.Dst, "dst")
+		case Mov:
+			checkReg(i, in.Dst, "dst")
+			checkOp(i, in.Src, "src")
+		case Bin:
+			checkReg(i, in.Dst, "dst")
+			checkOp(i, in.A, "lhs")
+			checkOp(i, in.B, "rhs")
+			if in.Op < OpAdd || in.Op > OpGe {
+				bad(i, "invalid binary op %d", in.Op)
+			}
+		case Load:
+			checkReg(i, in.Dst, "dst")
+			checkReg(i, in.Addr, "addr")
+			checkWidth(i, in.Size)
+		case Store:
+			checkReg(i, in.Addr, "addr")
+			checkOp(i, in.Src, "src")
+			checkWidth(i, in.Size)
+		case LocalAddr:
+			checkReg(i, in.Dst, "dst")
+			if in.Slot < 0 || in.Slot >= nslots {
+				bad(i, "slot %d out of range [0,%d)", in.Slot, nslots)
+			}
+		case GlobalAddr:
+			checkReg(i, in.Dst, "dst")
+			if p.GlobalByName(in.Sym) == nil {
+				bad(i, "undefined global %q", in.Sym)
+			}
+		case FuncAddr:
+			checkReg(i, in.Dst, "dst")
+			if p.Func(in.Sym) == nil {
+				bad(i, "undefined function %q", in.Sym)
+			}
+		case Call:
+			checkReg(i, in.Dst, "dst")
+			callee := p.Func(in.Sym)
+			if callee == nil {
+				bad(i, "undefined function %q", in.Sym)
+			} else if len(in.Args) != callee.NumParams {
+				bad(i, "call %s: %d args, want %d", in.Sym, len(in.Args), callee.NumParams)
+			}
+			for _, a := range in.Args {
+				checkOp(i, a, "arg")
+			}
+		case CallInd:
+			checkReg(i, in.Dst, "dst")
+			checkReg(i, in.Target, "target")
+			for _, a := range in.Args {
+				checkOp(i, a, "arg")
+			}
+		case Syscall:
+			sawSyscall = true
+			checkReg(i, in.Dst, "dst")
+			if len(in.Args) == 0 {
+				bad(i, "syscall without number")
+			} else if len(in.Args) > 7 {
+				bad(i, "syscall with %d args, max 6", len(in.Args)-1)
+			}
+			for _, a := range in.Args {
+				checkOp(i, a, "arg")
+			}
+		case Jump, BranchNZ:
+			if in.Kind == BranchNZ {
+				checkOp(i, in.Src, "cond")
+			}
+			if in.Label != "" {
+				if _, ok := f.labels[in.Label]; !ok {
+					bad(i, "undefined label %q", in.Label)
+				}
+			} else if in.ToIndex < 0 || in.ToIndex >= len(f.Code) {
+				bad(i, "branch target %d out of range", in.ToIndex)
+			}
+		case Ret:
+			checkOp(i, in.Src, "ret value")
+		case Intrinsic:
+			switch in.IK {
+			case CtxWriteMem:
+				checkReg(i, in.Addr, "addr")
+				if in.Size <= 0 {
+					bad(i, "ctx_write_mem with size %d", in.Size)
+				}
+			case CtxBindMem:
+				checkReg(i, in.Addr, "addr")
+				if in.Pos < 1 {
+					bad(i, "ctx_bind_mem with position %d", in.Pos)
+				}
+			case CtxBindConst:
+				if in.Pos < 1 {
+					bad(i, "ctx_bind_const with position %d", in.Pos)
+				}
+			default:
+				bad(i, "unknown intrinsic %d", in.IK)
+			}
+		default:
+			bad(i, "unknown instruction kind %d", in.Kind)
+		}
+	}
+	if len(f.Code) == 0 {
+		bad(0, "empty function body")
+	} else if last := f.Code[len(f.Code)-1]; last.Kind != Ret && last.Kind != Jump && last.Kind != Syscall {
+		// Syscall is allowed last only for wrappers that never return
+		// (exit/exit_group); the VM treats running off the end as a fault,
+		// so insist on explicit control flow otherwise.
+		bad(len(f.Code)-1, "function does not end in ret or jmp")
+	}
+	if sawSyscall {
+		n := 0
+		for i := range f.Code {
+			if f.Code[i].Kind == Syscall {
+				n++
+			}
+		}
+		if n != 1 {
+			bad(0, "syscall wrapper contains %d syscall instructions, want exactly 1", n)
+		}
+	}
+	return errors.Join(errs...)
+}

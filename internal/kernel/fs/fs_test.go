@@ -1,0 +1,240 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadFile(t *testing.T) {
+	f := New()
+	data := []byte("GET / HTTP/1.1")
+	if err := f.WriteFile("/srv/www/index.html", data, ModeRead|ModeWrite); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := f.ReadFile("/srv/www/index.html")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := f.ReadFile("/srv/www/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+func TestOpenFlags(t *testing.T) {
+	f := New()
+	if err := f.WriteFile("/a", []byte("hello"), ModeRead|ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	// O_RDONLY can read, not write.
+	ro, err := f.Open("/a", ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if n, _ := ro.Read(buf); n != 5 {
+		t.Fatalf("read %d", n)
+	}
+	if _, err := ro.Write([]byte("x")); err == nil {
+		t.Fatal("write on O_RDONLY succeeded")
+	}
+
+	// O_TRUNC clears.
+	w, err := f.Open("/a", OWronly|OTrunc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.ReadFile("/a"); string(got) != "xy" {
+		t.Fatalf("after trunc+write: %q", got)
+	}
+	if _, err := w.Read(buf); err == nil {
+		t.Fatal("read on O_WRONLY succeeded")
+	}
+
+	// O_APPEND starts at end.
+	a, err := f.Open("/a", OWronly|OAppend, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.ReadFile("/a"); string(got) != "xyz" {
+		t.Fatalf("after append: %q", got)
+	}
+
+	// O_CREAT creates.
+	c, err := f.Open("/new", OWronly|OCreat, ModeRead|ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("n")); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := f.Stat("/new"); err != nil || st.Size != 1 {
+		t.Fatalf("stat new: %+v %v", st, err)
+	}
+	// Without O_CREAT it fails.
+	if _, err := f.Open("/new2", OWronly, 0); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+}
+
+func TestPermissions(t *testing.T) {
+	f := New()
+	if err := f.WriteFile("/secret", []byte("k"), ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Open("/secret", ORdonly, 0); !errors.Is(err, ErrPerm) {
+		t.Fatalf("read of non-readable: %v", err)
+	}
+	if err := f.Chmod("/secret", ModeRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Open("/secret", ORdonly, 0); err != nil {
+		t.Fatalf("read after chmod: %v", err)
+	}
+	if _, err := f.Open("/secret", OWronly, 0); !errors.Is(err, ErrPerm) {
+		t.Fatalf("write of read-only: %v", err)
+	}
+	st, _ := f.Stat("/secret")
+	if st.Mode != ModeRead {
+		t.Fatalf("mode = %o", st.Mode)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	f := New()
+	if err := f.WriteFile("/a", []byte("0123456789"), ModeRead|ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := f.Open("/a", ORdwr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off, err := fl.Seek(4, SeekSet); err != nil || off != 4 {
+		t.Fatalf("SeekSet: %d %v", off, err)
+	}
+	b := make([]byte, 2)
+	fl.Read(b)
+	if string(b) != "45" {
+		t.Fatalf("after seek read %q", b)
+	}
+	if off, err := fl.Seek(-1, SeekCur); err != nil || off != 5 {
+		t.Fatalf("SeekCur: %d %v", off, err)
+	}
+	if off, err := fl.Seek(-2, SeekEnd); err != nil || off != 8 {
+		t.Fatalf("SeekEnd: %d %v", off, err)
+	}
+	if _, err := fl.Seek(-100, SeekSet); err == nil {
+		t.Fatal("negative seek succeeded")
+	}
+	if _, err := fl.Seek(0, 9); err == nil {
+		t.Fatal("bad whence succeeded")
+	}
+}
+
+func TestWriteExtendsSparsely(t *testing.T) {
+	f := New()
+	if err := f.WriteFile("/a", nil, ModeRead|ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	fl, _ := f.Open("/a", ORdwr, 0)
+	if _, err := fl.Seek(5, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	fl.Write([]byte("xx"))
+	got, _ := f.ReadFile("/a")
+	want := []byte{0, 0, 0, 0, 0, 'x', 'x'}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if fl.Size() != 7 {
+		t.Fatalf("size = %d", fl.Size())
+	}
+}
+
+func TestDirOperations(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll("/etc/nginx", ModeRead|ModeWrite|ModeExec); err != nil {
+		t.Fatal(err)
+	}
+	f.WriteFile("/etc/nginx/nginx.conf", []byte("worker 32"), ModeRead)
+	f.WriteFile("/etc/nginx/mime.types", []byte("x"), ModeRead)
+	ents, err := f.ReadDir("/etc/nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 || ents[0].Name != "mime.types" || ents[1].Name != "nginx.conf" {
+		t.Fatalf("ReadDir = %+v", ents)
+	}
+	if _, err := f.ReadDir("/etc/nginx/nginx.conf"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("ReadDir on file: %v", err)
+	}
+	if _, err := f.Open("/etc/nginx", ORdonly, 0); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("Open on dir: %v", err)
+	}
+	if err := f.Remove("/etc/nginx"); err == nil {
+		t.Fatal("removed non-empty directory")
+	}
+	if err := f.Remove("/etc/nginx/mime.types"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat("/etc/nginx/mime.types"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat removed: %v", err)
+	}
+}
+
+func TestIndependentOffsets(t *testing.T) {
+	f := New()
+	f.WriteFile("/a", []byte("abcdef"), ModeRead|ModeWrite)
+	f1, _ := f.Open("/a", ORdonly, 0)
+	f2, _ := f.Open("/a", ORdonly, 0)
+	b := make([]byte, 3)
+	f1.Read(b)
+	if string(b) != "abc" {
+		t.Fatalf("f1 read %q", b)
+	}
+	f2.Read(b)
+	if string(b) != "abc" {
+		t.Fatalf("f2 read %q (offset shared?)", b)
+	}
+}
+
+// Property: WriteFile then ReadFile round-trips arbitrary contents at
+// arbitrary (sanitized) paths.
+func TestRoundTripProperty(t *testing.T) {
+	f := New()
+	fn := func(name string, data []byte) bool {
+		p := "/prop/" + sanitize(name)
+		if err := f.WriteFile(p, data, ModeRead|ModeWrite); err != nil {
+			return false
+		}
+		got, err := f.ReadFile(p)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	out := []byte("f")
+	for _, c := range []byte(s) {
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			out = append(out, c)
+		}
+	}
+	if len(out) > 32 {
+		out = out[:32]
+	}
+	return string(out)
+}

@@ -1,0 +1,239 @@
+package kernel_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+	"bastion/internal/kernel/fs"
+)
+
+func TestSendfileFileToFile(t *testing.T) {
+	m, _, k := newGuest(t, func(p *ir.Program) {
+		b := ir.NewBuilder("main", 0)
+		b.Local("src", 16)
+		b.Local("dst", 16)
+		b.Local("in", 8)
+		src := storeString(b, "src", "/in.dat")
+		in := b.Call("open", ir.R(src), ir.Imm(fs.ORdonly), ir.Imm(0))
+		b.StoreLocal("in", ir.R(in))
+		dst := storeString(b, "dst", "/out.dat")
+		out := b.Call("open", ir.R(dst), ir.Imm(fs.OWronly|fs.OCreat), ir.Imm(6))
+		in2 := b.LoadLocal("in")
+		n := b.Call("sendfile", ir.R(out), ir.R(in2), ir.Imm(0), ir.Imm(1024))
+		b.Ret(ir.R(n))
+		p.AddFunc(b.Build())
+	})
+	k.FS.WriteFile("/in.dat", []byte("copy me"), fs.ModeRead)
+	got, err := m.CallFunction("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 7 {
+		t.Fatalf("sendfile moved %d", got)
+	}
+	data, err := k.FS.ReadFile("/out.dat")
+	if err != nil || !bytes.Equal(data, []byte("copy me")) {
+		t.Fatalf("out.dat = %q, %v", data, err)
+	}
+}
+
+func TestLseekAndPartialRead(t *testing.T) {
+	m, _, k := newGuest(t, func(p *ir.Program) {
+		b := ir.NewBuilder("main", 0)
+		b.Local("path", 16)
+		b.Local("buf", 16)
+		b.Local("fd", 8)
+		path := storeString(b, "path", "/data")
+		fd := b.Call("open", ir.R(path), ir.Imm(fs.ORdonly), ir.Imm(0))
+		b.StoreLocal("fd", ir.R(fd))
+		fd1 := b.LoadLocal("fd")
+		b.Call("lseek", ir.R(fd1), ir.Imm(6), ir.Imm(0)) // SEEK_SET 6
+		buf := b.Lea("buf", 0)
+		fd2 := b.LoadLocal("fd")
+		b.Call("read", ir.R(fd2), ir.R(buf), ir.Imm(5))
+		v := b.Load(b.Lea("buf", 0), 0, 1)
+		b.Ret(ir.R(v))
+		p.AddFunc(b.Build())
+	})
+	k.FS.WriteFile("/data", []byte("hello world"), fs.ModeRead)
+	got, err := m.CallFunction("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 'w' {
+		t.Fatalf("read %q after seek", byte(got))
+	}
+}
+
+func TestStatWritesSizeAndMode(t *testing.T) {
+	m, _, k := newGuest(t, func(p *ir.Program) {
+		b := ir.NewBuilder("main", 0)
+		b.Local("path", 16)
+		b.Local("st", 64)
+		path := storeString(b, "path", "/f")
+		st := b.Lea("st", 0)
+		b.Call("stat", ir.R(path), ir.R(st))
+		sz := b.Load(b.Lea("st", 0), 48, 8) // st_size
+		md := b.Load(b.Lea("st", 0), 24, 4) // st_mode
+		sum := b.Bin(ir.OpAdd, ir.R(sz), ir.R(md))
+		b.Ret(ir.R(sum))
+		p.AddFunc(b.Build())
+	})
+	k.FS.WriteFile("/f", []byte("12345"), fs.ModeRead|fs.ModeExec)
+	got, err := m.CallFunction("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 5+uint64(fs.ModeRead|fs.ModeExec) {
+		t.Fatalf("stat sum = %d", got)
+	}
+}
+
+func TestMremapCopiesContents(t *testing.T) {
+	m, proc, _ := newGuest(t, func(p *ir.Program) {
+		b := ir.NewBuilder("main", 0)
+		old := b.Call("mmap", ir.Imm(0), ir.Imm(4096), ir.Imm(3), ir.Imm(0x22), ir.Imm(-1), ir.Imm(0))
+		b.Store(old, 0, ir.Imm(0x77), 8)
+		nw := b.Call("mremap", ir.R(old), ir.Imm(4096), ir.Imm(8192))
+		v := b.Load(nw, 0, 8)
+		b.Ret(ir.R(v))
+		p.AddFunc(b.Build())
+	})
+	got, err := m.CallFunction("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 0x77 {
+		t.Fatalf("mremap lost contents: %#x", got)
+	}
+	if !proc.HasEvent(kernel.EventRemap, "mremap") {
+		t.Fatalf("no remap event: %v", proc.Events)
+	}
+}
+
+func TestGuestToGuestConnect(t *testing.T) {
+	m, proc, k := newGuest(t, func(p *ir.Program) {
+		// server_up(): socket/bind(9000)/listen.
+		sb := ir.NewBuilder("server_up", 0)
+		sb.Local("sa", 16)
+		sb.Local("fd", 8)
+		fd := sb.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+		sb.StoreLocal("fd", ir.R(fd))
+		sa := buildSockaddr(sb, "sa", 9000)
+		fd1 := sb.LoadLocal("fd")
+		sb.Call("bind", ir.R(fd1), ir.R(sa), ir.Imm(16))
+		fd2 := sb.LoadLocal("fd")
+		sb.Call("listen", ir.R(fd2), ir.Imm(4))
+		sb.Ret(ir.Imm(0))
+		p.AddFunc(sb.Build())
+
+		// dial_out(): connect to 9000 and send two bytes.
+		db := ir.NewBuilder("dial_out", 0)
+		db.Local("sa", 16)
+		db.Local("fd", 8)
+		db.Local("msg", 8)
+		fd3 := db.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+		db.StoreLocal("fd", ir.R(fd3))
+		sa2 := buildSockaddr(db, "sa", 9000)
+		fd4 := db.LoadLocal("fd")
+		r := db.Call("connect", ir.R(fd4), ir.R(sa2), ir.Imm(16))
+		msg := db.Lea("msg", 0)
+		db.Store(msg, 0, ir.Imm('h'), 1)
+		db.Store(msg, 1, ir.Imm('i'), 1)
+		fd5 := db.LoadLocal("fd")
+		msg2 := db.Lea("msg", 0)
+		db.Call("write", ir.R(fd5), ir.R(msg2), ir.Imm(2))
+		db.Ret(ir.R(r))
+		p.AddFunc(db.Build())
+
+		b := ir.NewBuilder("main", 0)
+		b.Ret(ir.Imm(0))
+		p.AddFunc(b.Build())
+	})
+	if _, err := m.CallFunction("server_up"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.CallFunction("dial_out")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if int64(got) != 0 {
+		t.Fatalf("connect = %d", int64(got))
+	}
+	if k.Net.Pending(9000) != 1 {
+		t.Fatal("no pending connection at listener")
+	}
+	if !proc.HasEvent(kernel.EventSocket, "connected to port 9000") {
+		t.Fatalf("events: %v", proc.Events)
+	}
+}
+
+func TestErrnoCoverage(t *testing.T) {
+	m, _, _ := newGuest(t, func(p *ir.Program) {
+		// One probe function per errno condition; each returns the raw
+		// syscall result.
+		probes := []struct {
+			name string
+			emit func(b *ir.Builder) ir.Reg
+		}{
+			{"probe_close_badfd", func(b *ir.Builder) ir.Reg {
+				return b.Call("close", ir.Imm(99))
+			}},
+			{"probe_read_badfd", func(b *ir.Builder) ir.Reg {
+				buf := b.Lea("buf", 0)
+				return b.Call("read", ir.Imm(77), ir.R(buf), ir.Imm(1))
+			}},
+			{"probe_listen_badfd", func(b *ir.Builder) ir.Reg {
+				return b.Call("listen", ir.Imm(50), ir.Imm(1))
+			}},
+			{"probe_mprotect_unmapped", func(b *ir.Builder) ir.Reg {
+				return b.Call("mprotect", ir.Imm(0x12345000), ir.Imm(4096), ir.Imm(1))
+			}},
+			{"probe_munmap_unaligned", func(b *ir.Builder) ir.Reg {
+				return b.Call("munmap", ir.Imm(5), ir.Imm(4096))
+			}},
+			{"probe_connect_refused", func(b *ir.Builder) ir.Reg {
+				fd := b.Call("socket", ir.Imm(2), ir.Imm(1), ir.Imm(0))
+				b.Local("fd", 8)
+				b.StoreLocal("fd", ir.R(fd))
+				sa := buildSockaddr(b, "sa2", 9999)
+				fd2 := b.LoadLocal("fd")
+				return b.Call("connect", ir.R(fd2), ir.R(sa), ir.Imm(16))
+			}},
+			{"probe_write_efault", func(b *ir.Builder) ir.Reg {
+				return b.Call("write", ir.Imm(1), ir.Imm(0xdead0000), ir.Imm(4))
+			}},
+		}
+		for _, pr := range probes {
+			b := ir.NewBuilder(pr.name, 0)
+			b.Local("buf", 8)
+			b.Local("sa2", 16)
+			r := pr.emit(b)
+			b.Ret(ir.R(r))
+			p.AddFunc(b.Build())
+		}
+		b := ir.NewBuilder("main", 0)
+		b.Ret(ir.Imm(0))
+		p.AddFunc(b.Build())
+	})
+	want := map[string]int64{
+		"probe_close_badfd":       -kernel.EBADF,
+		"probe_read_badfd":        -kernel.EBADF,
+		"probe_listen_badfd":      -kernel.EBADF,
+		"probe_mprotect_unmapped": -kernel.ENOMEM,
+		"probe_munmap_unaligned":  -kernel.EINVAL,
+		"probe_connect_refused":   -kernel.ECONNREFUSED,
+		"probe_write_efault":      -kernel.EFAULT,
+	}
+	for name, w := range want {
+		got, err := m.CallFunction(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if int64(got) != w {
+			t.Errorf("%s = %d, want %d", name, int64(got), w)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+
+	"bastion/internal/ir"
+)
+
+func TestMapsRendersRegions(t *testing.T) {
+	m, proc, _ := newGuest(t, func(p *ir.Program) {
+		b := ir.NewBuilder("main", 0)
+		a := b.Call("mmap", ir.Imm(0), ir.Imm(8192), ir.Imm(3), ir.Imm(0x22), ir.Imm(-1), ir.Imm(0))
+		b.Call("mprotect", ir.R(a), ir.Imm(4096), ir.Imm(1))
+		b.Ret(ir.Imm(0))
+		p.AddFunc(b.Build())
+	})
+	if _, err := m.CallFunction("main"); err != nil {
+		t.Fatal(err)
+	}
+	maps := proc.Maps()
+	for _, want := range []string{"[stack]", "[anon]", "rw-", "r--"} {
+		if !strings.Contains(maps, want) {
+			t.Errorf("maps missing %q:\n%s", want, maps)
+		}
+	}
+	// The mprotect split shows as two regions with distinct permissions.
+	if strings.Count(maps, "[anon]") < 2 {
+		t.Fatalf("anon mapping not split by mprotect:\n%s", maps)
+	}
+}

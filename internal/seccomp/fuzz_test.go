@@ -1,0 +1,52 @@
+package seccomp
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRun hardens the cBPF interpreter: arbitrary instruction streams that
+// pass Validate must execute without panicking, terminate, and return one
+// of the defined outcomes or an error.
+func FuzzRun(f *testing.F) {
+	seed := func(prog []Insn) []byte {
+		buf := make([]byte, 0, len(prog)*8)
+		for _, in := range prog {
+			var b [8]byte
+			binary.LittleEndian.PutUint16(b[0:], in.Code)
+			b[2], b[3] = in.Jt, in.Jf
+			binary.LittleEndian.PutUint32(b[4:], in.K)
+			buf = append(buf, b[:]...)
+		}
+		return buf
+	}
+	pol := &Policy{Default: RetAllow, Actions: map[uint32]uint32{59: RetTrace}, CheckArch: true}
+	compiled, _ := pol.Compile()
+	f.Add(seed(compiled), uint32(59))
+	f.Add(seed([]Insn{LoadAbs(0), RetAcc()}), uint32(1))
+	f.Add(seed([]Insn{{Code: ClsAlu | AluDiv | SrcK, K: 0}, RetConst(0)}), uint32(0))
+	f.Add(seed([]Insn{{Code: ClsLdx | ModeMem, K: 3}, RetAcc()}), uint32(7))
+
+	f.Fuzz(func(t *testing.T, raw []byte, nr uint32) {
+		var prog []Insn
+		for i := 0; i+8 <= len(raw) && len(prog) < 64; i += 8 {
+			prog = append(prog, Insn{
+				Code: binary.LittleEndian.Uint16(raw[i:]),
+				Jt:   raw[i+2], Jf: raw[i+3],
+				K: binary.LittleEndian.Uint32(raw[i+4:]),
+			})
+		}
+		if Validate(prog) != nil {
+			return
+		}
+		d := &Data{Nr: nr, Arch: AuditArchX86_64}
+		action, steps, err := Run(prog, d)
+		if err != nil {
+			return
+		}
+		if steps <= 0 {
+			t.Fatalf("nonpositive step count %d", steps)
+		}
+		_ = action
+	})
+}

@@ -1,0 +1,413 @@
+// Package seccomp implements a classic-BPF (cBPF) virtual machine and a
+// seccomp policy compiler, mirroring Linux's seccomp-BPF facility
+// (SECure COMPuting with filters). The BASTION monitor compiles its
+// call-type metadata into a filter program that the simulated kernel
+// evaluates on every system call entry; evaluation cost (executed BPF
+// instructions) feeds the cycle model, which is how the paper's
+// "seccomp hook only" rows arise.
+package seccomp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// seccomp_data field offsets (struct seccomp_data on Linux x86-64).
+const (
+	OffNr   = 0  // uint32 syscall number
+	OffArch = 4  // uint32 architecture token
+	OffIPLo = 8  // low half of the instruction pointer
+	OffIPHi = 12 // high half
+	// OffArgLo(i) = 16 + 8*i
+)
+
+// OffArgLo returns the offset of the low 32 bits of syscall argument i.
+func OffArgLo(i int) uint32 { return uint32(16 + 8*i) }
+
+// OffArgHi returns the offset of the high 32 bits of syscall argument i.
+func OffArgHi(i int) uint32 { return uint32(20 + 8*i) }
+
+// AuditArchX86_64 is the AUDIT_ARCH_X86_64 token.
+const AuditArchX86_64 uint32 = 0xc000003e
+
+// Data mirrors struct seccomp_data: the view of a syscall presented to the
+// filter program.
+type Data struct {
+	Nr   uint32
+	Arch uint32
+	IP   uint64
+	Args [6]uint64
+}
+
+func (d *Data) load32(off uint32) (uint32, bool) {
+	switch {
+	case off == OffNr:
+		return d.Nr, true
+	case off == OffArch:
+		return d.Arch, true
+	case off == OffIPLo:
+		return uint32(d.IP), true
+	case off == OffIPHi:
+		return uint32(d.IP >> 32), true
+	case off >= 16 && off < 64 && off%4 == 0:
+		i := (off - 16) / 8
+		if (off-16)%8 == 0 {
+			return uint32(d.Args[i]), true
+		}
+		return uint32(d.Args[i] >> 32), true
+	}
+	return 0, false
+}
+
+// Filter return actions (SECCOMP_RET_*).
+const (
+	RetKill  uint32 = 0x0000_0000
+	RetTrap  uint32 = 0x0003_0000
+	RetErrno uint32 = 0x0005_0000
+	RetTrace uint32 = 0x7ff0_0000
+	RetLog   uint32 = 0x7ffc_0000
+	RetAllow uint32 = 0x7fff_0000
+
+	// RetActionMask extracts the action from a return value; the low bits
+	// carry SECCOMP_RET_DATA (errno value or trace cookie).
+	RetActionMask uint32 = 0x7fff_0000
+	RetDataMask   uint32 = 0x0000_ffff
+)
+
+// ActionName names an action value for diagnostics.
+func ActionName(v uint32) string {
+	switch v & RetActionMask {
+	case RetKill:
+		return "KILL"
+	case RetTrap:
+		return "TRAP"
+	case RetErrno:
+		return "ERRNO"
+	case RetTrace:
+		return "TRACE"
+	case RetLog:
+		return "LOG"
+	case RetAllow:
+		return "ALLOW"
+	}
+	return fmt.Sprintf("ACTION(%#x)", v)
+}
+
+// BPF instruction class and mode bits (classic BPF encoding).
+const (
+	ClsLd   uint16 = 0x00
+	ClsLdx  uint16 = 0x01
+	ClsSt   uint16 = 0x02
+	ClsStx  uint16 = 0x03
+	ClsAlu  uint16 = 0x04
+	ClsJmp  uint16 = 0x05
+	ClsRet  uint16 = 0x06
+	ClsMisc uint16 = 0x07
+
+	ModeImm uint16 = 0x00
+	ModeAbs uint16 = 0x20
+	ModeMem uint16 = 0x60
+
+	SizeW uint16 = 0x00
+
+	AluAdd uint16 = 0x00
+	AluSub uint16 = 0x10
+	AluMul uint16 = 0x20
+	AluDiv uint16 = 0x30
+	AluOr  uint16 = 0x40
+	AluAnd uint16 = 0x50
+	AluLsh uint16 = 0x60
+	AluRsh uint16 = 0x70
+	AluNeg uint16 = 0x80
+
+	JmpJa   uint16 = 0x00
+	JmpJeq  uint16 = 0x10
+	JmpJgt  uint16 = 0x20
+	JmpJge  uint16 = 0x30
+	JmpJset uint16 = 0x40
+
+	SrcK uint16 = 0x00
+	SrcX uint16 = 0x08
+
+	RvalK uint16 = 0x00
+	RvalA uint16 = 0x10
+)
+
+// Insn is one classic-BPF instruction (struct sock_filter).
+type Insn struct {
+	Code   uint16
+	Jt, Jf uint8
+	K      uint32
+}
+
+// Convenience constructors for the instruction subset seccomp programs use.
+
+// LoadAbs loads the 32-bit word at offset off of seccomp_data into A.
+func LoadAbs(off uint32) Insn { return Insn{Code: ClsLd | SizeW | ModeAbs, K: off} }
+
+// JumpEq compares A to k: skips jt instructions when equal, jf otherwise.
+func JumpEq(k uint32, jt, jf uint8) Insn {
+	return Insn{Code: ClsJmp | JmpJeq | SrcK, Jt: jt, Jf: jf, K: k}
+}
+
+// Jump skips k instructions unconditionally.
+func Jump(k uint32) Insn { return Insn{Code: ClsJmp | JmpJa, K: k} }
+
+// RetConst returns the constant action k.
+func RetConst(k uint32) Insn { return Insn{Code: ClsRet | RvalK, K: k} }
+
+// RetAcc returns the accumulator.
+func RetAcc() Insn { return Insn{Code: ClsRet | RvalA} }
+
+// MaxInsns is the kernel's BPF_MAXINSNS.
+const MaxInsns = 4096
+
+// Validate performs the structural checks the kernel applies at
+// SECCOMP_SET_MODE_FILTER time: bounded length, in-range forward jumps, a
+// terminating return, and recognized opcodes.
+func Validate(prog []Insn) error {
+	if len(prog) == 0 {
+		return errors.New("seccomp: empty program")
+	}
+	if len(prog) > MaxInsns {
+		return fmt.Errorf("seccomp: program too long (%d insns)", len(prog))
+	}
+	for pc, in := range prog {
+		switch in.Code & 0x07 {
+		case ClsLd, ClsLdx, ClsSt, ClsStx, ClsAlu, ClsRet, ClsMisc:
+			// opcode-specific validation happens at run time
+		case ClsJmp:
+			if in.Code&0xf0 == JmpJa {
+				if pc+1+int(in.K) >= len(prog) {
+					return fmt.Errorf("seccomp: insn %d: jump out of range", pc)
+				}
+			} else {
+				if pc+1+int(in.Jt) >= len(prog) || pc+1+int(in.Jf) >= len(prog) {
+					return fmt.Errorf("seccomp: insn %d: branch out of range", pc)
+				}
+			}
+		}
+	}
+	if last := prog[len(prog)-1]; last.Code&0x07 != ClsRet {
+		return errors.New("seccomp: program does not end in a return")
+	}
+	return nil
+}
+
+// Run evaluates prog against data, returning the action value and the
+// number of instructions executed (the cost signal for the cycle model).
+func Run(prog []Insn, data *Data) (action uint32, steps int, err error) {
+	var a, x uint32
+	var scratch [16]uint32
+	pc := 0
+	for steps = 1; steps <= len(prog)+MaxInsns; steps++ {
+		if pc < 0 || pc >= len(prog) {
+			return 0, steps, fmt.Errorf("seccomp: pc %d out of range", pc)
+		}
+		in := prog[pc]
+		pc++
+		switch in.Code & 0x07 {
+		case ClsLd:
+			switch in.Code & 0xe0 {
+			case ModeAbs:
+				v, ok := data.load32(in.K)
+				if !ok {
+					return 0, steps, fmt.Errorf("seccomp: bad load offset %d", in.K)
+				}
+				a = v
+			case ModeImm:
+				a = in.K
+			case ModeMem:
+				if in.K >= 16 {
+					return 0, steps, fmt.Errorf("seccomp: bad scratch slot %d", in.K)
+				}
+				a = scratch[in.K]
+			default:
+				return 0, steps, fmt.Errorf("seccomp: bad load mode %#x", in.Code)
+			}
+		case ClsLdx:
+			switch in.Code & 0xe0 {
+			case ModeImm:
+				x = in.K
+			case ModeMem:
+				if in.K >= 16 {
+					return 0, steps, fmt.Errorf("seccomp: bad scratch slot %d", in.K)
+				}
+				x = scratch[in.K]
+			default:
+				return 0, steps, fmt.Errorf("seccomp: bad ldx mode %#x", in.Code)
+			}
+		case ClsSt:
+			if in.K >= 16 {
+				return 0, steps, fmt.Errorf("seccomp: bad scratch slot %d", in.K)
+			}
+			scratch[in.K] = a
+		case ClsStx:
+			if in.K >= 16 {
+				return 0, steps, fmt.Errorf("seccomp: bad scratch slot %d", in.K)
+			}
+			scratch[in.K] = x
+		case ClsAlu:
+			src := in.K
+			if in.Code&SrcX != 0 {
+				src = x
+			}
+			switch in.Code & 0xf0 {
+			case AluAdd:
+				a += src
+			case AluSub:
+				a -= src
+			case AluMul:
+				a *= src
+			case AluDiv:
+				if src == 0 {
+					return 0, steps, errors.New("seccomp: division by zero")
+				}
+				a /= src
+			case AluOr:
+				a |= src
+			case AluAnd:
+				a &= src
+			case AluLsh:
+				a <<= src & 31
+			case AluRsh:
+				a >>= src & 31
+			case AluNeg:
+				a = -a
+			default:
+				return 0, steps, fmt.Errorf("seccomp: bad alu op %#x", in.Code)
+			}
+		case ClsJmp:
+			src := in.K
+			if in.Code&SrcX != 0 {
+				src = x
+			}
+			var taken bool
+			switch in.Code & 0xf0 {
+			case JmpJa:
+				pc += int(in.K)
+				continue
+			case JmpJeq:
+				taken = a == src
+			case JmpJgt:
+				taken = a > src
+			case JmpJge:
+				taken = a >= src
+			case JmpJset:
+				taken = a&src != 0
+			default:
+				return 0, steps, fmt.Errorf("seccomp: bad jump op %#x", in.Code)
+			}
+			if taken {
+				pc += int(in.Jt)
+			} else {
+				pc += int(in.Jf)
+			}
+		case ClsRet:
+			if in.Code&0x18 == RvalA {
+				return a, steps, nil
+			}
+			return in.K, steps, nil
+		default:
+			return 0, steps, fmt.Errorf("seccomp: bad class %#x", in.Code)
+		}
+	}
+	return 0, steps, errors.New("seccomp: instruction budget exceeded (loop?)")
+}
+
+// Policy is a high-level seccomp policy: per-syscall actions over a default.
+type Policy struct {
+	Default uint32
+	// Actions maps syscall number to action for syscalls that deviate from
+	// the default.
+	Actions map[uint32]uint32
+	// CheckArch inserts the standard architecture guard that kills the
+	// process on a foreign-architecture syscall.
+	CheckArch bool
+}
+
+// Compile lowers the policy to a cBPF program:
+//
+//	[arch guard]
+//	ld  [nr]
+//	jeq nr_i -> ret action_i   (one comparison chain entry per rule)
+//	ret default
+//
+// Rules are emitted in ascending syscall-number order for determinism.
+func (p *Policy) Compile() ([]Insn, error) {
+	if len(p.Actions) > MaxInsns/2 {
+		return nil, fmt.Errorf("seccomp: too many rules (%d)", len(p.Actions))
+	}
+	var prog []Insn
+	if p.CheckArch {
+		prog = append(prog,
+			LoadAbs(OffArch),
+			JumpEq(AuditArchX86_64, 1, 0),
+			RetConst(RetKill),
+		)
+	}
+	prog = append(prog, LoadAbs(OffNr))
+	nrs := make([]uint32, 0, len(p.Actions))
+	for nr := range p.Actions {
+		nrs = append(nrs, nr)
+	}
+	sortU32(nrs)
+	// Each rule is `jeq nr, 0, 1; ret action` — fall through to the next
+	// comparison on mismatch.
+	for _, nr := range nrs {
+		prog = append(prog,
+			JumpEq(nr, 0, 1),
+			RetConst(p.Actions[nr]),
+		)
+	}
+	prog = append(prog, RetConst(p.Default))
+	if err := Validate(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// Disasm renders the program for debugging.
+func Disasm(prog []Insn) string {
+	out := ""
+	for pc, in := range prog {
+		out += fmt.Sprintf("%3d: ", pc)
+		switch {
+		case in.Code == ClsLd|SizeW|ModeAbs:
+			out += fmt.Sprintf("ld  [%d]\n", in.K)
+		case in.Code&0x07 == ClsJmp && in.Code&0xf0 == JmpJa:
+			out += fmt.Sprintf("ja  +%d\n", in.K)
+		case in.Code&0x07 == ClsJmp:
+			out += fmt.Sprintf("j%s #%#x jt=%d jf=%d\n", jmpName(in.Code), in.K, in.Jt, in.Jf)
+		case in.Code&0x07 == ClsRet && in.Code&0x18 == RvalA:
+			out += "ret A\n"
+		case in.Code&0x07 == ClsRet:
+			out += fmt.Sprintf("ret %s\n", ActionName(in.K))
+		default:
+			out += fmt.Sprintf("op %#x k=%#x\n", in.Code, in.K)
+		}
+	}
+	return out
+}
+
+func jmpName(code uint16) string {
+	switch code & 0xf0 {
+	case JmpJeq:
+		return "eq"
+	case JmpJgt:
+		return "gt"
+	case JmpJge:
+		return "ge"
+	case JmpJset:
+		return "set"
+	}
+	return "??"
+}

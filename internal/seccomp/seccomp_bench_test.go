@@ -1,0 +1,36 @@
+package seccomp
+
+import "testing"
+
+// BenchmarkFilterEval measures one filter evaluation — the cost behind
+// Table 7's "seccomp hook only" row.
+func BenchmarkFilterEval(b *testing.B) {
+	pol := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, CheckArch: true}
+	for _, nr := range []uint32{9, 10, 25, 41, 42, 43, 49, 50, 56, 57, 58, 59, 90, 101, 105, 106, 113, 216, 288, 322} {
+		pol.Actions[nr] = RetTrace
+	}
+	prog, err := pol.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &Data{Nr: 1, Arch: AuditArchX86_64} // worst case: falls through all rules
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(prog, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyCompile measures filter construction (monitor attach).
+func BenchmarkPolicyCompile(b *testing.B) {
+	pol := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, CheckArch: true}
+	for nr := uint32(0); nr < 64; nr++ {
+		pol.Actions[nr] = RetKill
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package vm
+
+import (
+	"testing"
+
+	"bastion/internal/ir"
+)
+
+// TestGadgetEntryMidFunction: control can land in the middle of a function
+// via a corrupted return address (gadget semantics), executing the suffix.
+func TestGadgetEntryMidFunction(t *testing.T) {
+	p := ir.NewProgram()
+	p.AddGlobal(&ir.Global{Name: "mark", Size: 8})
+
+	// gadgets: [0] store 1, [1] store 2, [2] ret — entering at instr 1
+	// must skip the first store. The address register is materialized
+	// fresh at each instruction so a mid-entry lands on valid state.
+	g := ir.NewBuilder("gadgets", 0)
+	g1 := g.GlobalLea("mark", 0)
+	g.Store(g1, 0, ir.Imm(1), 8)
+	g2 := g.GlobalLea("mark", 0)
+	g.Store(g2, 0, ir.Imm(2), 8)
+	g.Ret(ir.Imm(0))
+	p.AddFunc(g.Build())
+
+	// victim: hook overwrites its return address with gadgets+2 (the
+	// second GlobalLea), so only the second store executes.
+	v := ir.NewBuilder("victim", 0)
+	v.Local("pad", 16)
+	v.Ret(ir.Imm(0))
+	p.AddFunc(v.Build())
+
+	b := ir.NewBuilder("main", 0)
+	b.Call("victim")
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+
+	m := mustMachine(t, p)
+	gf := p.Func("gadgets")
+	if err := m.HookFunc("victim", 0, func(mm *Machine) error {
+		return mm.Mem.WriteUint(mm.RBP()+8, gf.InstrAddr(2), 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The gadget's own ret pops main's frame (the chain is shared), so the
+	// run ends at the sentinel.
+	if _, err := m.CallFunction("main"); err != nil {
+		t.Fatalf("gadget run: %v", err)
+	}
+	mark, _ := m.Mem.ReadUint(p.GlobalByName("mark").Addr, 8)
+	if mark != 2 {
+		t.Fatalf("mark = %d, want 2 (suffix-only execution)", mark)
+	}
+}
+
+// TestRegisterIsolationAcrossFrames: callee register writes never leak
+// into the caller's register file.
+func TestRegisterIsolationAcrossFrames(t *testing.T) {
+	p := ir.NewProgram()
+	clobber := ir.NewBuilder("clobber", 0)
+	for i := 0; i < 16; i++ {
+		clobber.Const(0xdead)
+	}
+	clobber.Ret(ir.Imm(0))
+	p.AddFunc(clobber.Build())
+
+	b := ir.NewBuilder("main", 0)
+	vals := make([]ir.Reg, 8)
+	for i := range vals {
+		vals[i] = b.Const(int64(100 + i))
+	}
+	b.Call("clobber")
+	sum := b.Const(0)
+	for _, r := range vals {
+		b.BinInto(sum, ir.OpAdd, ir.R(sum), ir.R(r))
+	}
+	b.Ret(ir.R(sum))
+	p.AddFunc(b.Build())
+
+	m := mustMachine(t, p)
+	got, err := m.CallFunction("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100+101+102+103+104+105+106+107 {
+		t.Fatalf("caller registers clobbered: sum = %d", got)
+	}
+}
+
+// TestIndirectCallArityMismatchTolerated: a hijacked pointer reaches its
+// target even when argument counts disagree (real machines do not check);
+// missing arguments arrive as zero.
+func TestIndirectCallArityMismatchTolerated(t *testing.T) {
+	p := ir.NewProgram()
+	takes3 := ir.NewBuilder("takes3", 3)
+	a := takes3.LoadLocal("p0")
+	c := takes3.LoadLocal("p2")
+	takes3.Ret(ir.R(takes3.Bin(ir.OpAdd, ir.R(a), ir.R(c))))
+	p.AddFunc(takes3.Build())
+
+	b := ir.NewBuilder("main", 0)
+	fp := b.FuncAddr("takes3")
+	r := b.CallInd(fp, "i64(i64)", ir.Imm(41)) // only one argument
+	b.Ret(ir.R(r))
+	p.AddFunc(b.Build())
+
+	m := mustMachine(t, p)
+	got, err := m.CallFunction("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 41 { // p0=41, p2 arrives as 0
+		t.Fatalf("got %d, want 41", got)
+	}
+}
+
+func TestCallFunctionOnHaltedMachine(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewBuilder("main", 0)
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+	m := mustMachine(t, p, WithOS(&fakeOS{}))
+	// Force a halt via a guest exit.
+	w := ir.NewBuilder("die", 0)
+	_ = w
+	m.halted = true
+	if _, err := m.CallFunction("main"); err == nil {
+		t.Fatal("CallFunction on halted machine succeeded")
+	}
+}
+
+// TestUnwindStopsOnCorruptChain: Unwind surfaces the readable prefix and
+// an error when the frame-pointer chain leaves mapped memory.
+func TestUnwindStopsOnCorruptChain(t *testing.T) {
+	p := ir.NewProgram()
+	w := ir.NewBuilder("sys_probe", 0)
+	w.Syscall(999)
+	w.Ret(ir.Imm(0))
+	p.AddFunc(w.Build())
+	b := ir.NewBuilder("main", 0)
+	b.Call("sys_probe")
+	b.Ret(ir.Imm(0))
+	p.AddFunc(b.Build())
+
+	var unwound []uint64
+	var uerr error
+	os := &hookOS{fn: func(mm *Machine) {
+		// Corrupt the innermost saved rbp to an unmapped address, then
+		// unwind.
+		mm.Mem.WriteUint(mm.SysRegs.RBP, 0xdea0000000, 8)
+		unwound, uerr = mm.Unwind(16)
+	}}
+	m := mustMachine(t, p, WithOS(os))
+	// The corrupted saved frame pointer eventually crashes the guest's own
+	// return path — the run must fault, not silently continue.
+	if _, err := m.CallFunction("main"); err == nil {
+		t.Fatal("run with corrupted frame chain succeeded")
+	}
+	if uerr == nil {
+		t.Fatal("Unwind of corrupt chain reported no error")
+	}
+	if len(unwound) != 1 {
+		t.Fatalf("unwound %d frames, want the 1 readable frame", len(unwound))
+	}
+}

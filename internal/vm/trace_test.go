@@ -1,0 +1,56 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"bastion/internal/ir"
+)
+
+func TestTraceStreamsDisassembly(t *testing.T) {
+	p := ir.NewProgram()
+	leaf := ir.NewBuilder("leaf", 1)
+	v := leaf.LoadLocal("p0")
+	leaf.Ret(ir.R(v))
+	p.AddFunc(leaf.Build())
+	b := ir.NewBuilder("main", 0)
+	r := b.Call("leaf", ir.Imm(7))
+	b.Ret(ir.R(r))
+	p.AddFunc(b.Build())
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	m, err := New(p, WithTrace(&sb, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 1 << 12
+	if got, err := m.CallFunction("main"); err != nil || got != 7 {
+		t.Fatalf("run: %d, %v", got, err)
+	}
+	out := sb.String()
+	for _, want := range []string{"main+", "leaf+", "call leaf(7)", "ret r"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+
+	// The limit caps output.
+	var small strings.Builder
+	m2, err := New(p, WithTrace(&small, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.MaxSteps = 1 << 12
+	if _, err := m2.CallFunction("main"); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(small.String(), "\n"); n > 2 {
+		t.Fatalf("trace limit ignored: %d lines", n)
+	}
+}

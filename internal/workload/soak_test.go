@@ -1,0 +1,68 @@
+package workload_test
+
+import (
+	"testing"
+
+	"bastion/internal/workload"
+)
+
+// TestSoakNginx sustains hundreds of protected requests: no violations, no
+// fd leaks, no shadow-table exhaustion, and stable per-unit cost.
+func TestSoakNginx(t *testing.T) {
+	units := 400
+	if testing.Short() {
+		units = 40
+	}
+	target := workload.NewNginx()
+	prot := launch(t, target, true)
+	res, err := workload.Run(target, prot, units)
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations during soak: %v", prot.Monitor.Violations)
+	}
+	if res.Traps != uint64(units) {
+		t.Fatalf("traps = %d, want %d (one accept4 per request)", res.Traps, units)
+	}
+	// Request handling closes both the connection and the file: the fd
+	// table must not grow with load.
+	if fds := prot.Proc.OpenFDs(); fds > 64 {
+		t.Fatalf("fd leak: %d open descriptors after %d requests", fds, units)
+	}
+	// Per-unit cost stays flat: compare the first and second halves.
+	halfTarget := workload.NewNginx()
+	halfProt := launch(t, halfTarget, true)
+	half, err := workload.Run(halfTarget, halfProt, units/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := half.PerUnitTotal(), res.PerUnitTotal()
+	if b > a*1.05 || a > b*1.05 {
+		t.Fatalf("per-unit cost drifted: %.0f vs %.0f", a, b)
+	}
+}
+
+// TestSoakVsftpd sustains transfers with per-transfer listeners: sockets
+// and files must be reclaimed.
+func TestSoakVsftpd(t *testing.T) {
+	units := 120
+	if testing.Short() {
+		units = 12
+	}
+	target := workload.NewVsftpd()
+	prot := launch(t, target, true)
+	res, err := workload.Run(target, prot, units)
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations: %v", prot.Monitor.Violations)
+	}
+	if res.Bytes != int64(units)*workload.FTPFileSize {
+		t.Fatalf("moved %d bytes", res.Bytes)
+	}
+	if fds := prot.Proc.OpenFDs(); fds > 16 {
+		t.Fatalf("fd leak: %d open after %d transfers", fds, units)
+	}
+}

@@ -1,28 +1,40 @@
 // bastion-bench regenerates the paper's evaluation artifacts: Figure 3 and
 // Tables 3-7, plus the §9.2 extras (monitor init latency, call-depth
-// statistics, and the accept fast-path ablation).
+// statistics, the accept fast-path ablation, and the linear-vs-tree
+// seccomp filter ablation).
 //
 // Usage:
 //
-//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|extras] [-units N]
+//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|extras] [-units N]
+//	bastion-bench -report out.md [-parallel] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bastion/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | extras")
+	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | extras")
 	units := flag.Int("units", bench.DefaultUnits, "work units per measurement")
 	reportOut := flag.String("report", "", "write a complete markdown report to this file")
+	parallel := flag.Bool("parallel", false, "fan report experiments out across CPU cores (same output, less wall clock)")
+	workers := flag.Int("workers", 0, "worker pool size for -parallel (0 = NumCPU)")
 	flag.Parse()
 
 	if *reportOut != "" {
-		rep, err := bench.CollectReport(*units)
+		n := 1
+		if *parallel {
+			n = *workers
+			if n <= 0 {
+				n = runtime.NumCPU()
+			}
+		}
+		rep, err := bench.CollectReportParallel(*units, n)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bastion-bench: report: %v\n", err)
 			os.Exit(1)
@@ -31,7 +43,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bastion-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("report written to %s\n", *reportOut)
+		fmt.Printf("report written to %s (%d worker(s))\n", *reportOut, n)
+		fmt.Print(rep.TimingSummary())
 		return
 	}
 
@@ -91,6 +104,18 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.RenderTable7(rows))
+		return nil
+	})
+	run("filter", func() error {
+		var rows []*bench.FilterAblationResult
+		for _, app := range bench.Apps {
+			r, err := bench.FilterAblation(app, *units)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println(bench.RenderFilterAblation(rows))
 		return nil
 	})
 	run("extras", func() error {

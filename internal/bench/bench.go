@@ -121,6 +121,9 @@ type RunSpec struct {
 	DisableAcceptFastPath bool
 	// InKernel runs the monitor in-kernel (the §11.2 eBPF proposal).
 	InKernel bool
+	// TreeFilter selects the binary-search seccomp compilation (the
+	// linear-vs-tree filter ablation).
+	TreeFilter bool
 }
 
 // RunResult couples a workload measurement with its launch context.
@@ -172,6 +175,7 @@ func Run(spec RunSpec) (*RunResult, error) {
 		cfg.Mode = spec.Mode
 		cfg.AcceptFastPath = !spec.DisableAcceptFastPath
 		cfg.InKernel = spec.InKernel
+		cfg.TreeFilter = spec.TreeFilter
 		prot, err := core.Launch(art, k, cfg, vmOpts...)
 		if err != nil {
 			return nil, err

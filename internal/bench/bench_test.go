@@ -258,11 +258,63 @@ func TestReportMarkdown(t *testing.T) {
 	md := rep.Markdown()
 	for _, want := range []string{
 		"## Figure 3", "## Table 3", "## Table 4", "## Table 5",
-		"## Table 6", "## Table 7", "accept4 fast path", "in-kernel monitor",
+		"## Table 6", "## Table 7", "## Seccomp filter ablation",
+		"accept4 fast path", "in-kernel monitor",
 		"| rop-exec-01 |", "| **total monitor hook** |",
 	} {
 		if !strings.Contains(md, want) {
 			t.Errorf("report missing %q", want)
+		}
+	}
+	// Wall-clock timings exist for every experiment but stay out of the
+	// report document (determinism).
+	if len(rep.Timings) == 0 {
+		t.Fatal("no timings recorded")
+	}
+	for _, tm := range rep.Timings {
+		if tm.Elapsed <= 0 {
+			t.Errorf("experiment %q has no wall-clock timing", tm.Name)
+		}
+	}
+	if !strings.Contains(rep.TimingSummary(), "filter ablation nginx") {
+		t.Errorf("timing summary incomplete:\n%s", rep.TimingSummary())
+	}
+}
+
+// TestParallelReportByteIdentical is the determinism contract of the
+// parallel harness: fanning experiments across workers must produce the
+// same document, byte for byte, as the sequential run.
+func TestParallelReportByteIdentical(t *testing.T) {
+	seq, err := CollectReportParallel(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CollectReportParallel(8, 0) // 0 = NumCPU
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Markdown() != par.Markdown() {
+		t.Fatal("parallel report differs from sequential report")
+	}
+}
+
+func TestFilterAblationTreeStrictlyCheaper(t *testing.T) {
+	for _, app := range Apps {
+		res, err := FilterAblation(app, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TreeInsns <= 0 || res.LinearInsns <= 0 ||
+			res.TreePerCall <= 0 || res.LinearPerCall <= 0 {
+			t.Fatalf("%s: no BPF instructions recorded: %+v", app, res)
+		}
+		// The acceptance bar: per-hook BPF instruction count strictly lower
+		// under the tree compilation for the ExtendFS set.
+		if res.TreeInsns >= res.LinearInsns {
+			t.Errorf("%s: tree %.2f insns/eval not below linear %.2f", app, res.TreeInsns, res.LinearInsns)
+		}
+		if res.TreePerCall >= res.LinearPerCall {
+			t.Errorf("%s: tree %.2f insns/call not below linear %.2f", app, res.TreePerCall, res.LinearPerCall)
 		}
 	}
 }

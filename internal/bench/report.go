@@ -2,7 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"bastion/internal/attacks"
 )
@@ -19,46 +22,124 @@ type Report struct {
 	Init    []*InitDepthStats
 	Accept  *AblationResult
 	InK     []*InKernelResult
+	Filter  []*FilterAblationResult
+	// Timings records each experiment's wall-clock duration, in the fixed
+	// experiment order. It is rendered by TimingSummary, never by Markdown,
+	// so report documents stay byte-identical across runs and worker
+	// counts.
+	Timings []ExperimentTiming
 }
 
-// CollectReport runs every experiment at the given unit count.
+// ExperimentTiming is one experiment's wall-clock measurement.
+type ExperimentTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// CollectReport runs every experiment sequentially at the given unit
+// count. Equivalent to CollectReportParallel(units, 1).
 func CollectReport(units int) (*Report, error) {
-	r := &Report{Units: units}
-	var err error
-	if r.Figure3, err = Figure3(units); err != nil {
-		return nil, fmt.Errorf("figure 3: %w", err)
+	return CollectReportParallel(units, 1)
+}
+
+// CollectReportParallel runs every experiment across a worker pool of the
+// given size (≤ 0 selects runtime.NumCPU()). Each experiment builds its
+// own kernel, clock, and machine, so experiments share no simulator state;
+// results land in fixed slots, making the report deterministic and
+// byte-identical to a sequential run. The first error (by experiment
+// order) cancels the remaining unstarted experiments.
+func CollectReportParallel(units, workers int) (*Report, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	if r.Table3, err = Table3(units); err != nil {
-		return nil, fmt.Errorf("table 3: %w", err)
+	r := &Report{
+		Units:  units,
+		Init:   make([]*InitDepthStats, len(Apps)),
+		InK:    make([]*InKernelResult, len(Apps)),
+		Filter: make([]*FilterAblationResult, len(Apps)),
 	}
-	if r.Table4, err = Table4(units); err != nil {
-		return nil, fmt.Errorf("table 4: %w", err)
+	type task struct {
+		name string
+		run  func() error
 	}
-	if r.Table5, err = Table5(); err != nil {
-		return nil, fmt.Errorf("table 5: %w", err)
+	tasks := []task{
+		{"figure 3", func() (err error) { r.Figure3, err = Figure3(units); return }},
+		{"table 3", func() (err error) { r.Table3, err = Table3(units); return }},
+		{"table 4", func() (err error) { r.Table4, err = Table4(units); return }},
+		{"table 5", func() (err error) { r.Table5, err = Table5(); return }},
+		{"table 6", func() (err error) { r.Table6, err = Table6(); return }},
+		{"table 7", func() (err error) { r.Table7, err = Table7(units); return }},
+		{"accept ablation", func() (err error) { r.Accept, err = AblationAcceptFastPath("nginx", units); return }},
 	}
-	if r.Table6, err = Table6(); err != nil {
-		return nil, fmt.Errorf("table 6: %w", err)
+	for i, app := range Apps {
+		i, app := i, app
+		tasks = append(tasks,
+			task{"init/depth " + app, func() (err error) { r.Init[i], err = InitAndDepth(app, units); return }},
+			task{"in-kernel " + app, func() (err error) { r.InK[i], err = InKernelAblation(app, units); return }},
+			task{"filter ablation " + app, func() (err error) { r.Filter[i], err = FilterAblation(app, units); return }},
+		)
 	}
-	if r.Table7, err = Table7(units); err != nil {
-		return nil, fmt.Errorf("table 7: %w", err)
+	r.Timings = make([]ExperimentTiming, len(tasks))
+	for i, t := range tasks {
+		r.Timings[i].Name = t.name
 	}
-	for _, app := range Apps {
-		st, err := InitAndDepth(app, units)
-		if err != nil {
-			return nil, fmt.Errorf("init/depth %s: %w", app, err)
+
+	var (
+		mu       sync.Mutex
+		firstIdx = len(tasks)
+		firstErr error
+		aborted  = make(chan struct{})
+		abort    sync.Once
+		wg       sync.WaitGroup
+	)
+	taskCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range taskCh {
+				start := time.Now()
+				err := tasks[i].run()
+				r.Timings[i].Elapsed = time.Since(start)
+				if err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, fmt.Errorf("%s: %w", tasks[i].name, err)
+					}
+					mu.Unlock()
+					abort.Do(func() { close(aborted) })
+				}
+			}
+		}()
+	}
+feed:
+	for i := range tasks {
+		select {
+		case taskCh <- i:
+		case <-aborted:
+			break feed
 		}
-		r.Init = append(r.Init, st)
-		ik, err := InKernelAblation(app, units)
-		if err != nil {
-			return nil, fmt.Errorf("in-kernel %s: %w", app, err)
-		}
-		r.InK = append(r.InK, ik)
 	}
-	if r.Accept, err = AblationAcceptFastPath("nginx", units); err != nil {
-		return nil, fmt.Errorf("accept ablation: %w", err)
+	close(taskCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return r, nil
+}
+
+// TimingSummary renders per-experiment wall-clock timings (separate from
+// Markdown so report documents stay deterministic).
+func (r *Report) TimingSummary() string {
+	var b strings.Builder
+	b.WriteString("experiment wall-clock timings:\n")
+	var total time.Duration
+	for _, t := range r.Timings {
+		fmt.Fprintf(&b, "  %-24s %8.1f ms\n", t.Name, float64(t.Elapsed.Microseconds())/1000)
+		total += t.Elapsed
+	}
+	fmt.Fprintf(&b, "  %-24s %8.1f ms (sum of experiment times)\n", "total", float64(total.Microseconds())/1000)
+	return b.String()
 }
 
 // Markdown renders the whole report as a standalone document.
@@ -134,6 +215,15 @@ func (r *Report) Markdown() string {
 			row.Raw["nginx"], row.Overheads["nginx"],
 			row.Raw["sqlite"], row.Overheads["sqlite"],
 			row.Raw["vsftpd"], row.Overheads["vsftpd"])
+	}
+
+	b.WriteString("\n## Seccomp filter ablation — linear chain vs binary search (hook-only, fs extension)\n\n")
+	b.WriteString("insns/eval averages one filter evaluation over the whole kernel syscall table; insns/call is workload-weighted (Linux numbers hot syscalls lowest, favoring the sorted chain).\n\n")
+	b.WriteString("| app | linear insns/eval | tree insns/eval | linear insns/call | tree insns/call | linear overhead | tree overhead |\n|---|---|---|---|---|---|---|\n")
+	for _, fr := range r.Filter {
+		fmt.Fprintf(&b, "| %s | %.2f | %.2f | %.2f | %.2f | %.2f%% | %.2f%% |\n", fr.App,
+			fr.LinearInsns, fr.TreeInsns, fr.LinearPerCall, fr.TreePerCall,
+			fr.LinearOverhead, fr.TreeOverhead)
 	}
 
 	b.WriteString("\n## §9.2 / §11.2 extras\n\n")

@@ -173,16 +173,39 @@ func (m *Metadata) CallerAllowed(callee, caller string) (constrained, allowed bo
 	return true, set[caller]
 }
 
+// Validate checks the invariants the monitor's hot path relies on instead
+// of re-checking per trap. In particular, argument positions must be in
+// the syscall ABI's 1..6 range: vm.Regs.Arg returns 0 for anything else,
+// so a malformed position would make argument integrity compare against a
+// fabricated zero instead of the real register.
+func (m *Metadata) Validate() error {
+	for addr, site := range m.ArgSites {
+		for _, spec := range site.Args {
+			if spec.Pos < 1 || spec.Pos > 6 {
+				return fmt.Errorf("metadata: arg site %#x: position %d outside syscall ABI range 1..6", addr, spec.Pos)
+			}
+			if spec.Size < 0 {
+				return fmt.Errorf("metadata: arg site %#x: negative size %d for arg %d", addr, spec.Size, spec.Pos)
+			}
+		}
+	}
+	return nil
+}
+
 // Marshal serializes the metadata to JSON.
 func (m *Metadata) Marshal() ([]byte, error) {
 	return json.MarshalIndent(m, "", " ")
 }
 
-// Unmarshal parses metadata previously produced by Marshal.
+// Unmarshal parses metadata previously produced by Marshal. The sidecar
+// is attacker-adjacent input, so structural invariants are checked here.
 func Unmarshal(data []byte) (*Metadata, error) {
 	m := New()
 	if err := json.Unmarshal(data, m); err != nil {
 		return nil, fmt.Errorf("metadata: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -107,6 +107,43 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsOutOfRangeArgPositions(t *testing.T) {
+	for _, pos := range []int{0, -1, 7, 99} {
+		m := sampleMeta()
+		site := m.ArgSites[0x400100]
+		site.Args = append(site.Args, ArgSpec{Pos: pos, Kind: ArgConst, Const: 1})
+		m.ArgSites[0x400100] = site
+		err := m.Validate()
+		if err == nil {
+			t.Fatalf("pos %d accepted", pos)
+		}
+		if !strings.Contains(err.Error(), "1..6") {
+			t.Fatalf("pos %d: unexpected error %v", pos, err)
+		}
+		// A malformed sidecar must fail at load time, too.
+		data, merr := m.Marshal()
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if _, err := Unmarshal(data); err == nil {
+			t.Fatalf("pos %d: sidecar accepted by Unmarshal", pos)
+		}
+	}
+	if err := sampleMeta().Validate(); err != nil {
+		t.Fatalf("valid metadata rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeSize(t *testing.T) {
+	m := sampleMeta()
+	site := m.ArgSites[0x400100]
+	site.Args[0].Size = -8
+	m.ArgSites[0x400100] = site
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
 func TestSummaryMentionsSyscalls(t *testing.T) {
 	s := sampleMeta().Summary()
 	for _, want := range []string{"execve", "mprotect", "direct+indirect", "2 callable syscalls"} {

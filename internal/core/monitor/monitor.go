@@ -75,6 +75,18 @@ const (
 	ModeHookOnly
 )
 
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeFetchOnly:
+		return "fetch-only"
+	case ModeHookOnly:
+		return "hook-only"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
 // Costs are the monitor's own verification charges, on top of ptrace costs
 // charged by the kernel facility.
 type Costs struct {
@@ -108,6 +120,11 @@ type Config struct {
 	// the paper's proposed optimization for extending coverage to hot
 	// system calls.
 	InKernel bool
+	// TreeFilter compiles the seccomp policy as a balanced binary search
+	// over syscall numbers (seccomp.Policy.CompileTree) instead of the
+	// linear comparison chain, dropping per-hook filter cost from O(n) to
+	// O(log n) BPF instructions.
+	TreeFilter bool
 	// MaxUnwindDepth bounds stack walks.
 	MaxUnwindDepth int
 	Costs          Costs
@@ -164,6 +181,9 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 	}
 	if cfg.Costs == (Costs{}) {
 		cfg.Costs = DefaultCosts()
+	}
+	if err := meta.Validate(); err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
 	}
 	m := &Monitor{
 		Meta:       meta,
@@ -241,6 +261,9 @@ func (m *Monitor) buildFilter() ([]seccomp.Insn, error) {
 				pol.Actions[nr] = traceAction
 			}
 		}
+	}
+	if m.Cfg.TreeFilter {
+		return pol.CompileTree()
 	}
 	return pol.Compile()
 }
@@ -479,10 +502,11 @@ func (m *Monitor) checkControlFlow(nr uint32, regs vm.Regs, trace []stackFrame, 
 			if !m.Meta.IndirectTargets[prevFn] {
 				return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("%s reached via indirect call but its address is never taken", prevFn)}
 			}
-			if allowed, constrained := m.Meta.AllowedIndirect[nr]; constrained != false && allowed != nil {
-				if !allowed[cs.Addr] {
-					return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("indirect callsite %#x cannot legitimately reach %s", cs.Addr, kernel.Name(nr))}
-				}
+			// A syscall with an AllowedIndirect entry is constrained to the
+			// recorded callsites; a present-but-empty set therefore rejects
+			// every indirect path. Unconstrained syscalls have no entry.
+			if allowed, ok := m.Meta.AllowedIndirect[nr]; ok && !allowed[cs.Addr] {
+				return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("indirect callsite %#x cannot legitimately reach %s", cs.Addr, kernel.Name(nr))}
 			}
 			return nil
 		}
@@ -790,22 +814,28 @@ func (m *Monitor) verifyBytes(nr uint32, pos int, base uint64, data []byte, requ
 			i++
 			continue
 		}
+		// An entry may straddle the region end (a legitimate pointee whose
+		// last shadowed write extends past the buffer): only the bytes
+		// inside the region are comparable, so clamp the reconstruction and
+		// the coverage count instead of padding with zeros.
+		avail := size
+		if rem := int64(len(data)) - i; avail > rem {
+			avail = rem
+		}
 		var cur uint64
-		for j := size - 1; j >= 0; j-- {
-			if i+j < int64(len(data)) {
-				cur = cur<<8 | uint64(data[i+j])
-			}
+		for j := avail - 1; j >= 0; j-- {
+			cur = cur<<8 | uint64(data[i+j])
 		}
 		mask := ^uint64(0)
-		if size < 8 {
-			mask = 1<<(8*size) - 1
+		if avail < 8 {
+			mask = 1<<(8*avail) - 1
 		}
 		if cur&mask != v&mask {
 			return &Violation{Context: ArgIntegrity, Nr: nr,
 				Reason: fmt.Sprintf("extended arg %d corrupted at %#x (+%d)", pos, base, i)}
 		}
-		covered += size
-		i += size
+		covered += avail
+		i += avail
 	}
 	if requireCoverage && covered == 0 && len(data) > 0 {
 		return &Violation{Context: ArgIntegrity, Nr: nr,
@@ -854,7 +884,7 @@ func (m *Monitor) readGuestUint(addr uint64, size int64) (uint64, error) {
 // syscall, configuration, and any violations.
 func (m *Monitor) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "BASTION monitor: contexts=%s mode=%d hooks=%d\n", m.Cfg.Contexts, m.Cfg.Mode, m.Hooks)
+	fmt.Fprintf(&b, "BASTION monitor: contexts=%s mode=%s hooks=%d\n", m.Cfg.Contexts, m.Cfg.Mode, m.Hooks)
 	nrs := make([]uint32, 0, len(m.ChecksByNr))
 	for nr := range m.ChecksByNr {
 		nrs = append(nrs, nr)

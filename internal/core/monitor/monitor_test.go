@@ -7,6 +7,7 @@ import (
 
 	"bastion/internal/apps/guestlibc"
 	"bastion/internal/core"
+	"bastion/internal/core/metadata"
 	"bastion/internal/core/monitor"
 	"bastion/internal/ir"
 	"bastion/internal/kernel"
@@ -397,9 +398,92 @@ func TestMonitorReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := prot.Monitor.Report()
-	for _, want := range []string{"contexts=call-type+control-flow+argument-integrity", "mmap", "mprotect", "no violations"} {
+	for _, want := range []string{"contexts=call-type+control-flow+argument-integrity", "mode=full", "mmap", "mprotect", "no violations"} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}
+	}
+}
+
+func TestModeStringRendering(t *testing.T) {
+	for mode, want := range map[monitor.Mode]string{
+		monitor.ModeFull:      "full",
+		monitor.ModeFetchOnly: "fetch-only",
+		monitor.ModeHookOnly:  "hook-only",
+		monitor.Mode(42):      "mode(42)",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(mode), got, want)
+		}
+	}
+}
+
+// TestTreeFilterEnforcesIdentically runs the legitimate workload and a
+// seccomp-killed syscall under the binary-search filter: same hooks, same
+// verdicts as the linear chain.
+func TestTreeFilterEnforcesIdentically(t *testing.T) {
+	cfg := monitor.DefaultConfig()
+	cfg.TreeFilter = true
+	prot := launch(t, cfg)
+	if _, err := prot.Machine.CallFunction("main"); err != nil {
+		t.Fatalf("protected run failed: %v", err)
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations on legit run: %v", prot.Monitor.Violations)
+	}
+	if prot.Monitor.ChecksByNr[kernel.SysMmap] != 1 || prot.Monitor.ChecksByNr[kernel.SysMprotect] != 1 {
+		t.Fatalf("checks = %v", prot.Monitor.ChecksByNr)
+	}
+	_, err := prot.Machine.CallFunction("setuid", 0)
+	var ke *vm.KillError
+	if !errors.As(err, &ke) || ke.By != "seccomp" {
+		t.Fatalf("err = %v, want seccomp kill", err)
+	}
+}
+
+// TestTreeFilterCheaperPerHook pins the tentpole claim at the monitor
+// level: with the FS extension (the largest protected set), the tree
+// filter executes strictly fewer BPF instructions for the same workload.
+func TestTreeFilterCheaperPerHook(t *testing.T) {
+	run := func(tree bool) (steps, syscalls uint64) {
+		cfg := monitor.DefaultConfig()
+		cfg.ExtendFS = true
+		cfg.TreeFilter = tree
+		prot := launch(t, cfg)
+		if _, err := prot.Machine.CallFunction("main"); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range prot.Proc.SyscallCounts {
+			syscalls += n
+		}
+		return prot.Proc.FilterSteps, syscalls
+	}
+	linSteps, linCalls := run(false)
+	treeSteps, treeCalls := run(true)
+	if linCalls != treeCalls {
+		t.Fatalf("workloads diverged: %d vs %d syscalls", linCalls, treeCalls)
+	}
+	if treeSteps >= linSteps {
+		t.Fatalf("tree filter executed %d BPF insns, linear %d: expected strictly fewer", treeSteps, linSteps)
+	}
+}
+
+// TestAttachRejectsMalformedArgPositions ensures a bad metadata sidecar
+// fails loudly at attach time instead of comparing against Arg()'s zero.
+func TestAttachRejectsMalformedArgPositions(t *testing.T) {
+	art, err := core.Compile(buildVictim(), core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr, site := range art.Meta.ArgSites {
+		site.Args = append(site.Args, metadata.ArgSpec{Pos: 9, Kind: metadata.ArgConst})
+		art.Meta.ArgSites[addr] = site
+		break
+	}
+	k := kernel.New(nil)
+	if _, err := core.Launch(art, k, monitor.DefaultConfig(), vm.WithMaxSteps(1<<22)); err == nil {
+		t.Fatal("malformed arg position accepted at attach")
+	} else if !strings.Contains(err.Error(), "1..6") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

@@ -226,6 +226,10 @@ func (p *Process) SetSeccompFilter(prog []seccomp.Insn) error {
 	return nil
 }
 
+// SeccompFilter returns the installed filter program (nil when none),
+// e.g. for offline evaluation-cost analysis.
+func (p *Process) SeccompFilter() []seccomp.Insn { return p.filter }
+
 // SetTracer attaches a tracer receiving SECCOMP_RET_TRACE stops.
 func (p *Process) SetTracer(t Tracer) { p.tracer = t }
 

@@ -50,3 +50,47 @@ func FuzzRun(f *testing.F) {
 		_ = action
 	})
 }
+
+// FuzzCompileTreeEquivalence decodes the input into an arbitrary rule set
+// and probe number and asserts that the binary-search program returns the
+// same action as the linear chain — the compilation-level counterpart of
+// FuzzRun's interpreter hardening.
+func FuzzCompileTreeEquivalence(f *testing.F) {
+	f.Add([]byte{59, 1, 10, 1, 99, 0}, uint32(59))
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{0, 0, 1, 1, 2, 0, 255, 1}, uint32(1<<31))
+
+	f.Fuzz(func(t *testing.T, raw []byte, probe uint32) {
+		p := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, CheckArch: true}
+		for i := 0; i+2 <= len(raw) && len(p.Actions) < 256; i += 2 {
+			// Spread rule numbers across the 32-bit space so the search
+			// tree sees sparse, unsorted inputs.
+			nr := uint32(raw[i]) * 0x01010101 / 7
+			if raw[i+1]&1 == 0 {
+				p.Actions[nr] = RetKill
+			} else {
+				p.Actions[nr] = RetTrace
+			}
+		}
+		lin, err := p.Compile()
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		tree, err := p.CompileTree()
+		if err != nil {
+			t.Fatalf("CompileTree: %v", err)
+		}
+		data := &Data{Nr: probe, Arch: AuditArchX86_64}
+		want, _, err := Run(lin, data)
+		if err != nil {
+			t.Fatalf("linear run: %v", err)
+		}
+		got, _, err := Run(tree, data)
+		if err != nil {
+			t.Fatalf("tree run: %v", err)
+		}
+		if got != want {
+			t.Fatalf("probe %d: tree %s, linear %s", probe, ActionName(got), ActionName(want))
+		}
+	})
+}

@@ -22,6 +22,26 @@ func BenchmarkFilterEval(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterEvalTree measures the same worst-case evaluation under
+// the binary-search compilation.
+func BenchmarkFilterEvalTree(b *testing.B) {
+	pol := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, CheckArch: true}
+	for _, nr := range []uint32{9, 10, 25, 41, 42, 43, 49, 50, 56, 57, 58, 59, 90, 101, 105, 106, 113, 216, 288, 322} {
+		pol.Actions[nr] = RetTrace
+	}
+	prog, err := pol.CompileTree()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &Data{Nr: 1, Arch: AuditArchX86_64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(prog, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPolicyCompile measures filter construction (monitor attach).
 func BenchmarkPolicyCompile(b *testing.B) {
 	pol := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, CheckArch: true}

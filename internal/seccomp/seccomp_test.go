@@ -200,6 +200,129 @@ func TestDisasmMentionsEveryInsn(t *testing.T) {
 	}
 }
 
+func TestCompileTreeAndRun(t *testing.T) {
+	p := &Policy{
+		Default: RetAllow,
+		Actions: map[uint32]uint32{
+			59: RetTrace, // execve
+			10: RetTrace, // mprotect
+			99: RetKill,
+		},
+		CheckArch: true,
+	}
+	prog, err := p.CompileTree()
+	if err != nil {
+		t.Fatalf("CompileTree: %v", err)
+	}
+	for _, tc := range []struct{ nr, want uint32 }{
+		{59, RetTrace}, {10, RetTrace}, {99, RetKill}, {1, RetAllow}, {0, RetAllow}, {1 << 30, RetAllow},
+	} {
+		got, steps, err := Run(prog, &Data{Nr: tc.nr, Arch: AuditArchX86_64})
+		if err != nil {
+			t.Fatalf("Run(nr=%d): %v", tc.nr, err)
+		}
+		if got != tc.want {
+			t.Errorf("nr %d: action %s, want %s", tc.nr, ActionName(got), ActionName(tc.want))
+		}
+		if steps <= 0 || steps > len(prog) {
+			t.Errorf("nr %d: steps = %d out of range", tc.nr, steps)
+		}
+	}
+	got, _, err := Run(prog, &Data{Nr: 1, Arch: 0x1234})
+	if err != nil || got != RetKill {
+		t.Fatalf("foreign arch: %s, %v", ActionName(got), err)
+	}
+}
+
+// Property: the tree program returns exactly the same action as the linear
+// program for any rule set and probe, including probes outside the set.
+func TestCompileTreeEquivalence(t *testing.T) {
+	f := func(rules map[uint32]bool, probe uint32) bool {
+		p := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, CheckArch: true}
+		for nr, trace := range rules {
+			if trace {
+				p.Actions[nr] = RetTrace
+			} else {
+				p.Actions[nr] = RetKill
+			}
+		}
+		lin, err := p.Compile()
+		if err != nil {
+			return false
+		}
+		tree, err := p.CompileTree()
+		if err != nil {
+			return false
+		}
+		data := &Data{Nr: probe, Arch: AuditArchX86_64}
+		want, _, err := Run(lin, data)
+		if err != nil {
+			return false
+		}
+		got, _, err := Run(tree, data)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A rule set large enough that left-subtree skips exceed the 8-bit branch
+// range exercises the `ja` trampoline path; the tree must stay equivalent
+// and strictly cheaper to evaluate than the linear chain.
+func TestCompileTreeLargePolicy(t *testing.T) {
+	p := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, CheckArch: true}
+	for i := uint32(0); i < 600; i++ {
+		nr := i * 7
+		act := RetTrace
+		if i%3 == 0 {
+			act = RetKill
+		}
+		p.Actions[nr] = act
+	}
+	lin, err := p.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tree, err := p.CompileTree()
+	if err != nil {
+		t.Fatalf("CompileTree: %v", err)
+	}
+	var linSteps, treeSteps int
+	for nr := uint32(0); nr < 600*7+50; nr += 3 {
+		data := &Data{Nr: nr, Arch: AuditArchX86_64}
+		want, ls, err := Run(lin, data)
+		if err != nil {
+			t.Fatalf("linear nr %d: %v", nr, err)
+		}
+		got, ts, err := Run(tree, data)
+		if err != nil {
+			t.Fatalf("tree nr %d: %v", nr, err)
+		}
+		if got != want {
+			t.Fatalf("nr %d: tree %s, linear %s", nr, ActionName(got), ActionName(want))
+		}
+		linSteps += ls
+		treeSteps += ts
+	}
+	if treeSteps >= linSteps {
+		t.Fatalf("tree executed %d insns, linear %d: expected strictly fewer", treeSteps, linSteps)
+	}
+}
+
+func TestCompileTreeTooManyRules(t *testing.T) {
+	p := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}}
+	for i := uint32(0); i <= uint32((MaxInsns-8)/6); i++ {
+		p.Actions[i] = RetKill
+	}
+	if _, err := p.CompileTree(); err == nil {
+		t.Fatal("oversized rule set accepted")
+	}
+}
+
 // Property: a compiled policy always returns exactly the configured action
 // for every syscall number.
 func TestPolicyProperty(t *testing.T) {

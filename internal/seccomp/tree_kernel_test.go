@@ -1,0 +1,101 @@
+// Action-equivalence of the binary-search filter against the linear chain
+// over the kernel's real syscall table. Lives in an external test package:
+// internal/kernel imports internal/seccomp, so the reverse import is only
+// legal from seccomp_test.
+package seccomp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bastion/internal/kernel"
+	"bastion/internal/seccomp"
+)
+
+// monitorPolicy mirrors the policy monitor.buildFilter constructs: KILL
+// for not-callable syscalls, TRACE for sensitive ones, ALLOW default.
+func monitorPolicy() *seccomp.Policy {
+	pol := &seccomp.Policy{
+		Default:   seccomp.RetAllow,
+		Actions:   map[uint32]uint32{},
+		CheckArch: true,
+	}
+	for nr := range kernel.Names {
+		if kernel.IsSensitive(nr) {
+			pol.Actions[nr] = seccomp.RetTrace
+		}
+	}
+	for _, nr := range kernel.FileSystemSyscalls {
+		pol.Actions[nr] = seccomp.RetTrace
+	}
+	return pol
+}
+
+// TestTreeEquivalentOverKernelTable asserts the tree program returns the
+// same action as the linear program for every syscall number the kernel
+// implements, plus random out-of-set numbers.
+func TestTreeEquivalentOverKernelTable(t *testing.T) {
+	pol := monitorPolicy()
+	lin, err := pol.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tree, err := pol.CompileTree()
+	if err != nil {
+		t.Fatalf("CompileTree: %v", err)
+	}
+	probes := make([]uint32, 0, len(kernel.Names)+256)
+	for nr := range kernel.Names {
+		probes = append(probes, nr)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 256; i++ {
+		probes = append(probes, rng.Uint32())
+	}
+	for _, nr := range probes {
+		data := &seccomp.Data{Nr: nr, Arch: seccomp.AuditArchX86_64}
+		want, _, err := seccomp.Run(lin, data)
+		if err != nil {
+			t.Fatalf("linear nr %d: %v", nr, err)
+		}
+		got, _, err := seccomp.Run(tree, data)
+		if err != nil {
+			t.Fatalf("tree nr %d: %v", nr, err)
+		}
+		if got != want {
+			t.Errorf("nr %d (%s): tree %s, linear %s", nr, kernel.Name(nr),
+				seccomp.ActionName(got), seccomp.ActionName(want))
+		}
+	}
+}
+
+// TestTreeCheaperOverKernelTable pins the point of the tree filter: fewer
+// executed BPF instructions per evaluation across the protected set.
+func TestTreeCheaperOverKernelTable(t *testing.T) {
+	pol := monitorPolicy()
+	lin, err := pol.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := pol.CompileTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linSteps, treeSteps int
+	for nr := range kernel.Names {
+		data := &seccomp.Data{Nr: nr, Arch: seccomp.AuditArchX86_64}
+		_, ls, err := seccomp.Run(lin, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ts, err := seccomp.Run(tree, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linSteps += ls
+		treeSteps += ts
+	}
+	if treeSteps >= linSteps {
+		t.Fatalf("tree executed %d insns over the kernel table, linear %d: expected strictly fewer", treeSteps, linSteps)
+	}
+}

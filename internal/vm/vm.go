@@ -49,7 +49,10 @@ type Regs struct {
 	RBP uint64
 }
 
-// Arg returns the pos-th (1-based) syscall argument register.
+// Arg returns the pos-th (1-based) syscall argument register. Positions
+// outside 1..6 have no register and return 0; metadata.Validate rejects
+// such positions before they reach enforcement, so a zero here is never
+// silently compared against a traced argument.
 func (r *Regs) Arg(pos int) uint64 {
 	switch pos {
 	case 1:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|extras] [-units N]
+//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|extras] [-units N]
 //	bastion-bench -report out.md [-parallel] [-workers N]
 package main
 
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | extras")
+	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | extras")
 	units := flag.Int("units", bench.DefaultUnits, "work units per measurement")
 	reportOut := flag.String("report", "", "write a complete markdown report to this file")
 	parallel := flag.Bool("parallel", false, "fan report experiments out across CPU cores (same output, less wall clock)")
@@ -116,6 +116,18 @@ func main() {
 			rows = append(rows, r)
 		}
 		fmt.Println(bench.RenderFilterAblation(rows))
+		return nil
+	})
+	run("cache", func() error {
+		var rows []*bench.CacheAblationResult
+		for _, app := range bench.Apps {
+			r, err := bench.CacheAblation(app, *units)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println(bench.RenderCacheAblation(rows))
 		return nil
 	})
 	run("extras", func() error {

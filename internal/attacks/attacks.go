@@ -33,6 +33,12 @@ type Defense struct {
 	Contexts   monitor.Context
 	CET        bool
 	CFI        bool
+	// Mode selects the monitor mode (ModeFull by default); the
+	// differential suite sweeps it.
+	Mode monitor.Mode
+	// VerdictCache enables the monitor's verdict cache, which must be
+	// observationally invisible (the differential suite's contract).
+	VerdictCache bool
 }
 
 // Canonical defenses for the evaluation.
@@ -270,6 +276,8 @@ func Launch(app string, d Defense) (*Env, error) {
 	if d.UseMonitor {
 		cfg := monitor.DefaultConfig()
 		cfg.Contexts = d.Contexts
+		cfg.Mode = d.Mode
+		cfg.VerdictCache = d.VerdictCache
 		prot, err = core.Launch(art, k, cfg, vmOpts...)
 	} else {
 		prot, err = core.LaunchUnprotected(art, k, vmOpts...)
@@ -327,9 +335,17 @@ func Launch(app string, d Defense) (*Env, error) {
 
 // Execute runs one scenario under one defense.
 func Execute(s Scenario, d Defense) (Outcome, error) {
+	out, _, err := ExecuteEnv(s, d)
+	return out, err
+}
+
+// ExecuteEnv runs one scenario under one defense and also returns the
+// attack environment, giving callers (the differential test suite) access
+// to the monitor's recorded violations and cache statistics.
+func ExecuteEnv(s Scenario, d Defense) (Outcome, *Env, error) {
 	env, err := Launch(s.App, d)
 	if err != nil {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
 	s.Run(env)
 	out := Outcome{Completed: env.EventSince(s.GoalKind, s.GoalDetail)}
@@ -345,7 +361,7 @@ func Execute(s Scenario, d Defense) (Outcome, error) {
 			out.Reason = cf.Why
 		}
 	}
-	return out, nil
+	return out, env, nil
 }
 
 // Verdict evaluates a scenario's Table 6 row: whether each context, run in

@@ -124,6 +124,9 @@ type RunSpec struct {
 	// TreeFilter selects the binary-search seccomp compilation (the
 	// linear-vs-tree filter ablation).
 	TreeFilter bool
+	// VerdictCache enables the monitor's verdict cache (the cache
+	// ablation).
+	VerdictCache bool
 }
 
 // RunResult couples a workload measurement with its launch context.
@@ -176,6 +179,7 @@ func Run(spec RunSpec) (*RunResult, error) {
 		cfg.AcceptFastPath = !spec.DisableAcceptFastPath
 		cfg.InKernel = spec.InKernel
 		cfg.TreeFilter = spec.TreeFilter
+		cfg.VerdictCache = spec.VerdictCache
 		prot, err := core.Launch(art, k, cfg, vmOpts...)
 		if err != nil {
 			return nil, err

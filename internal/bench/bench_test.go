@@ -259,6 +259,7 @@ func TestReportMarkdown(t *testing.T) {
 	for _, want := range []string{
 		"## Figure 3", "## Table 3", "## Table 4", "## Table 5",
 		"## Table 6", "## Table 7", "## Seccomp filter ablation",
+		"## Verdict cache ablation",
 		"accept4 fast path", "in-kernel monitor",
 		"| rop-exec-01 |", "| **total monitor hook** |",
 	} {
@@ -295,6 +296,35 @@ func TestParallelReportByteIdentical(t *testing.T) {
 	}
 	if seq.Markdown() != par.Markdown() {
 		t.Fatal("parallel report differs from sequential report")
+	}
+}
+
+// TestCacheAblation is the acceptance bar for the verdict cache: on the
+// loop-heavy fs-extension workloads, per-syscall monitor cycles must be
+// strictly lower with the cache on, with a high hit rate and no change in
+// detection (zero violations on either side of every run).
+func TestCacheAblation(t *testing.T) {
+	for _, app := range Apps {
+		res, err := CacheAblation(app, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OffViolations != 0 || res.OnViolations != 0 {
+			t.Errorf("%s: benign workload flagged: off=%d on=%d",
+				app, res.OffViolations, res.OnViolations)
+		}
+		if res.Hits == 0 {
+			t.Fatalf("%s: no cache hits on a loop-heavy workload", app)
+		}
+		if res.OnMonPerUnit >= res.OffMonPerUnit {
+			t.Errorf("%s: cache-on monitor cycles/unit %.1f not below cache-off %.1f",
+				app, res.OnMonPerUnit, res.OffMonPerUnit)
+		}
+		if hr := res.HitRate(); hr < 0.5 {
+			t.Errorf("%s: hit rate %.2f, want the workload loop to dominate", app, hr)
+		}
+		t.Logf("%s: mon cyc/unit %.1f -> %.1f, hit rate %.1f%%",
+			app, res.OffMonPerUnit, res.OnMonPerUnit, res.HitRate()*100)
 	}
 }
 

@@ -527,6 +527,84 @@ func RenderFilterAblation(rows []*FilterAblationResult) string {
 	return b.String()
 }
 
+// --- Ablation: verdict cache ---
+
+// CacheAblationResult compares full protection with the verdict cache off
+// and on for one application, under the file-system extension with the
+// monitor in full mode — the trap-heaviest loop, where the same call
+// paths reach the same syscalls every unit and the cache should converge
+// to near-total hit rate.
+type CacheAblationResult struct {
+	App string
+	// OffOverhead / OnOverhead are throughput overheads vs vanilla.
+	OffOverhead float64
+	OnOverhead  float64
+	// OffMonPerUnit / OnMonPerUnit are modeled monitor cycles per work
+	// unit — the serialized share the queueing model caps throughput on.
+	OffMonPerUnit float64
+	OnMonPerUnit  float64
+	// Steady-state cache statistics.
+	Hits, Misses, Inserts, Evictions uint64
+	// OffViolations / OnViolations must both be zero on the benign
+	// workload; the differential suite proves the general case.
+	OffViolations int
+	OnViolations  int
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no lookups.
+func (r *CacheAblationResult) HitRate() float64 {
+	if total := r.Hits + r.Misses; total > 0 {
+		return float64(r.Hits) / float64(total)
+	}
+	return 0
+}
+
+// CacheAblation measures the verdict-cache ablation for one application.
+func CacheAblation(app string, units int) (*CacheAblationResult, error) {
+	base, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	spec := RunSpec{App: app, Mitigation: MitFull, Units: units, ExtendFS: true}
+	off, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.VerdictCache = true
+	on, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	mon := on.Protected.Monitor
+	return &CacheAblationResult{
+		App:           app,
+		OffOverhead:   Overhead(base, off),
+		OnOverhead:    Overhead(base, on),
+		OffMonPerUnit: off.Workload.PerUnitMonitor(),
+		OnMonPerUnit:  on.Workload.PerUnitMonitor(),
+		Hits:          mon.CacheHits,
+		Misses:        mon.CacheMisses,
+		Inserts:       mon.CacheInserts,
+		Evictions:     mon.CacheEvictions,
+		OffViolations: len(off.Protected.Monitor.Violations),
+		OnViolations:  len(on.Protected.Monitor.Violations),
+	}, nil
+}
+
+// RenderCacheAblation formats the cache ablation rows.
+func RenderCacheAblation(rows []*CacheAblationResult) string {
+	var b strings.Builder
+	b.WriteString("Verdict cache ablation: full protection, fs extension (monitor cycles per unit)\n")
+	fmt.Fprintf(&b, "%-8s %16s %16s %10s %13s %13s\n", "app",
+		"off mon cyc/unit", "on mon cyc/unit", "hit rate", "off ovh %", "on ovh %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %16.0f %16.0f %9.1f%% %13.2f %13.2f\n", r.App,
+			r.OffMonPerUnit, r.OnMonPerUnit, r.HitRate()*100,
+			r.OffOverhead, r.OnOverhead)
+	}
+	return b.String()
+}
+
 // InKernelResult compares the ptrace monitor against the §11.2 in-kernel
 // design under the file-system extension, where state fetching dominates.
 type InKernelResult struct {

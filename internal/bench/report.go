@@ -23,6 +23,7 @@ type Report struct {
 	Accept  *AblationResult
 	InK     []*InKernelResult
 	Filter  []*FilterAblationResult
+	Cache   []*CacheAblationResult
 	// Timings records each experiment's wall-clock duration, in the fixed
 	// experiment order. It is rendered by TimingSummary, never by Markdown,
 	// so report documents stay byte-identical across runs and worker
@@ -57,6 +58,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 		Init:   make([]*InitDepthStats, len(Apps)),
 		InK:    make([]*InKernelResult, len(Apps)),
 		Filter: make([]*FilterAblationResult, len(Apps)),
+		Cache:  make([]*CacheAblationResult, len(Apps)),
 	}
 	type task struct {
 		name string
@@ -77,6 +79,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 			task{"init/depth " + app, func() (err error) { r.Init[i], err = InitAndDepth(app, units); return }},
 			task{"in-kernel " + app, func() (err error) { r.InK[i], err = InKernelAblation(app, units); return }},
 			task{"filter ablation " + app, func() (err error) { r.Filter[i], err = FilterAblation(app, units); return }},
+			task{"cache ablation " + app, func() (err error) { r.Cache[i], err = CacheAblation(app, units); return }},
 		)
 	}
 	r.Timings = make([]ExperimentTiming, len(tasks))
@@ -224,6 +227,15 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "| %s | %.2f | %.2f | %.2f | %.2f | %.2f%% | %.2f%% |\n", fr.App,
 			fr.LinearInsns, fr.TreeInsns, fr.LinearPerCall, fr.TreePerCall,
 			fr.LinearOverhead, fr.TreeOverhead)
+	}
+
+	b.WriteString("\n## Verdict cache ablation — full protection, fs extension\n\n")
+	b.WriteString("Monitor cycles per work unit with the verdict cache off vs on; hits skip the CT/CF checks and constant-argument verification, while memory-backed and pointee arguments are always re-verified against shadow memory.\n\n")
+	b.WriteString("| app | off mon cyc/unit | on mon cyc/unit | hit rate | off overhead | on overhead |\n|---|---|---|---|---|---|\n")
+	for _, cr := range r.Cache {
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.1f%% | %.2f%% | %.2f%% |\n", cr.App,
+			cr.OffMonPerUnit, cr.OnMonPerUnit, cr.HitRate()*100,
+			cr.OffOverhead, cr.OnOverhead)
 	}
 
 	b.WriteString("\n## §9.2 / §11.2 extras\n\n")

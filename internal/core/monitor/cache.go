@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"bastion/internal/core/metadata"
+	"bastion/internal/vm"
+)
+
+// Verdict cache (the SFIP/eBPF-style memoization of the monitor hot
+// path): the Call-Type and Control-Flow verdicts, plus the
+// constant-argument portion of Argument Integrity, are pure functions of
+// the syscall number, the unwound stack trace, and the constant-checked
+// argument registers — all of which the cache key covers. A hit therefore
+// skips re-deriving those verdicts. Memory-backed and pointee arguments
+// are NEVER cached: their runtime values can change between two
+// invocations with an identical stack, so they are re-verified against
+// shadow memory on every trap (see checkArgIntegrity).
+//
+// Only passing verdicts are inserted. A violating trap either kills the
+// process (nothing left to cache) or, in report-only mode, must keep
+// re-recording the violation on every recurrence to stay observationally
+// identical to an uncached monitor.
+
+// cacheKey is a 128-bit fingerprint: two independent FNV streams over the
+// same words, so a single 64-bit collision cannot alias two traces.
+type cacheKey struct {
+	lo, hi uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// hiOffset seeds the second stream (the golden-ratio constant).
+	hiOffset = 0x9e3779b97f4a7c15
+)
+
+// keyHasher folds 64-bit words into both streams. The lo stream is
+// FNV-1a; the hi stream is FNV-1 (multiply before xor) from a different
+// offset, making the two functions independent.
+type keyHasher struct {
+	lo, hi uint64
+}
+
+func newKeyHasher() keyHasher {
+	return keyHasher{lo: fnvOffset64, hi: hiOffset}
+}
+
+func (h *keyHasher) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		b := uint64(byte(v >> (8 * i)))
+		h.lo = (h.lo ^ b) * fnvPrime64
+		h.hi = h.hi*fnvPrime64 ^ b
+	}
+}
+
+func (h *keyHasher) sum() cacheKey { return cacheKey{lo: h.lo, hi: h.hi} }
+
+// verdictKey fingerprints everything the cached verdicts depend on: the
+// syscall number, whether the unwind reached the stack base, the trapping
+// instruction (checkControlFlow resolves the wrapper from RIP), every
+// frame's return address AND frame pointer (the CF check validates frame
+// pointers against the stack region and their ordering, so a pivoted
+// chain with recycled return addresses must not alias a legitimate one),
+// and the constant-checked syscall-frame argument registers (their
+// verdict is cached, so a corrupted register must miss).
+func (m *Monitor) verdictKey(nr uint32, regs vm.Regs, trace []stackFrame, clean bool) cacheKey {
+	h := newKeyHasher()
+	h.word(uint64(nr))
+	if clean {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
+	h.word(regs.RIP)
+	for _, fr := range trace {
+		h.word(fr.Ret)
+		h.word(fr.BP)
+	}
+	if len(trace) > 0 {
+		if cs, ok := m.Meta.Callsites[trace[0].Ret]; ok {
+			if site, ok := m.Meta.ArgSites[cs.Addr]; ok && site.IsSyscall {
+				for _, spec := range site.Args {
+					if spec.Kind == metadata.ArgConst {
+						h.word(uint64(spec.Pos))
+						h.word(regs.Arg(spec.Pos))
+					}
+				}
+			}
+		}
+	}
+	return h.sum()
+}
+
+// verdictCache is a bounded set of passing verdict keys with FIFO
+// eviction. FIFO keeps the deterministic performance model simple: the
+// eviction sequence depends only on the insertion sequence, never on
+// lookup timing.
+type verdictCache struct {
+	capacity int
+	entries  map[cacheKey]struct{}
+	ring     []cacheKey
+	next     int
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		capacity: capacity,
+		entries:  make(map[cacheKey]struct{}, capacity),
+		ring:     make([]cacheKey, 0, capacity),
+	}
+}
+
+func (c *verdictCache) contains(k cacheKey) bool {
+	_, ok := c.entries[k]
+	return ok
+}
+
+// insert records a passing verdict, evicting the oldest entry when at
+// capacity. It reports whether an eviction occurred.
+func (c *verdictCache) insert(k cacheKey) bool {
+	if _, ok := c.entries[k]; ok {
+		return false
+	}
+	if len(c.ring) < c.capacity {
+		c.ring = append(c.ring, k)
+		c.entries[k] = struct{}{}
+		return false
+	}
+	delete(c.entries, c.ring[c.next])
+	c.ring[c.next] = k
+	c.next = (c.next + 1) % c.capacity
+	c.entries[k] = struct{}{}
+	return true
+}
+
+// resident returns the current entry count.
+func (c *verdictCache) resident() int { return len(c.entries) }

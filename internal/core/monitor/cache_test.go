@@ -1,0 +1,176 @@
+package monitor_test
+
+// Soundness tests for the verdict-cache key: a warm cache must never
+// swallow a verdict that depends on state outside the key. Memory-backed
+// argument values are deliberately NOT part of the key — they are
+// re-verified against shadow memory on every trap — so corrupting one
+// between two invocations with an identical (nr, trace) must still kill.
+// Constant-checked argument registers ARE part of the key, so corrupting
+// one must produce a cache miss and the uncached verdict.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bastion/internal/core"
+	"bastion/internal/core/monitor"
+	"bastion/internal/vm"
+)
+
+func cacheConfig() monitor.Config {
+	cfg := monitor.DefaultConfig()
+	cfg.VerdictCache = true
+	return cfg
+}
+
+// warmProtect launches the victim and runs do_protect twice legitimately:
+// the first pass inserts the mprotect verdict, the second must hit.
+func warmProtect(t *testing.T) *core.Protected {
+	t.Helper()
+	prot := launch(t, cacheConfig())
+	if _, err := prot.Machine.CallFunction("setup"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+			t.Fatalf("warm run %d: %v", i, err)
+		}
+	}
+	if prot.Monitor.CacheHits == 0 {
+		t.Fatalf("identical invocations produced no cache hit (misses=%d inserts=%d)",
+			prot.Monitor.CacheMisses, prot.Monitor.CacheInserts)
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("warm-up flagged: %v", prot.Monitor.Violations)
+	}
+	return prot
+}
+
+// TestVerdictCacheKeyMemArgProperty is the key-soundness property: for a
+// spread of corrupted values, an invocation with equal (nr, trace) but a
+// different memory-backed argument value must diverge in verdict even
+// though the cache hits.
+func TestVerdictCacheKeyMemArgProperty(t *testing.T) {
+	// do_protect's prot argument is memory-backed (loaded from a local);
+	// 1 (PROT_READ) is the legitimate value.
+	for _, corrupt := range []uint64{0, 2, 3, 4, 5, 6, 7, 0xff, 1 << 20, ^uint64(0)} {
+		prot := warmProtect(t)
+		hitsBefore := prot.Monitor.CacheHits
+		// Corrupt the wrapper's spilled prot argument at wrapper entry:
+		// the trace is identical to the warmed invocations, only the
+		// runtime value differs.
+		if err := prot.Machine.HookFunc("mprotect", 0, func(m *vm.Machine) error {
+			addr, err := m.SlotAddr("p2")
+			if err != nil {
+				return err
+			}
+			return m.Mem.WriteUint(addr, corrupt, 8)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := prot.Machine.CallFunction("do_protect")
+		var ke *vm.KillError
+		if !errors.As(err, &ke) || ke.By != "monitor" {
+			t.Fatalf("corrupt=%#x: mem-arg corruption survived a warm cache: %v", corrupt, err)
+		}
+		if !strings.Contains(ke.Reason, "argument-integrity") {
+			t.Fatalf("corrupt=%#x: reason = %q", corrupt, ke.Reason)
+		}
+		// The detection must have happened on the hit path: same trace,
+		// same constant args, so the lookup hits and the memory-backed
+		// re-verification catches the corruption.
+		if prot.Monitor.CacheHits != hitsBefore+1 {
+			t.Fatalf("corrupt=%#x: detection not on the hit path (hits %d -> %d)",
+				corrupt, hitsBefore, prot.Monitor.CacheHits)
+		}
+		if prot.Monitor.ViolatedContexts()&monitor.ArgIntegrity == 0 {
+			t.Fatalf("corrupt=%#x: violated = %v", corrupt, prot.Monitor.ViolatedContexts())
+		}
+	}
+}
+
+// TestVerdictCacheKeyConstArgMisses pins the other half of the split:
+// constant-checked argument registers are folded into the key, so
+// corrupting one after warm-up must MISS the cache and reach the uncached
+// constant check.
+func TestVerdictCacheKeyConstArgMisses(t *testing.T) {
+	prot := warmProtect(t)
+	missesBefore := prot.Monitor.CacheMisses
+	// mprotect's length argument (4096) is a compile-time constant; p1 is
+	// the wrapper's spilled copy of it.
+	if err := prot.Machine.HookFunc("mprotect", 0, func(m *vm.Machine) error {
+		addr, err := m.SlotAddr("p1")
+		if err != nil {
+			return err
+		}
+		return m.Mem.WriteUint(addr, 1<<30, 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := prot.Machine.CallFunction("do_protect")
+	var ke *vm.KillError
+	if !errors.As(err, &ke) || ke.By != "monitor" {
+		t.Fatalf("const-arg corruption survived a warm cache: %v", err)
+	}
+	if !strings.Contains(ke.Reason, "argument-integrity") {
+		t.Fatalf("reason = %q", ke.Reason)
+	}
+	if prot.Monitor.CacheMisses != missesBefore+1 {
+		t.Fatalf("corrupted constant arg did not miss the cache (misses %d -> %d)",
+			missesBefore, prot.Monitor.CacheMisses)
+	}
+}
+
+// TestVerdictCacheRepeatedLegitimateHits pins the benign behaviour: a
+// loop of identical legitimate invocations converges to all-hits with no
+// violations and at most one insert for the repeated path.
+func TestVerdictCacheRepeatedLegitimateHits(t *testing.T) {
+	prot := launch(t, cacheConfig())
+	if _, err := prot.Machine.CallFunction("setup"); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations: %v", prot.Monitor.Violations)
+	}
+	if prot.Monitor.CacheHits < rounds-1 {
+		t.Fatalf("hits = %d, want >= %d", prot.Monitor.CacheHits, rounds-1)
+	}
+	if strings.Count(prot.Monitor.Report(), "verdict cache:") != 1 {
+		t.Fatalf("report missing cache statistics:\n%s", prot.Monitor.Report())
+	}
+}
+
+// TestVerdictCacheBoundedEviction pins FIFO eviction: with capacity 1,
+// alternating between two distinct traces evicts on every insert and
+// never hits, yet verdicts stay correct.
+func TestVerdictCacheBoundedEviction(t *testing.T) {
+	cfg := cacheConfig()
+	cfg.VerdictCacheCap = 1
+	prot := launch(t, cfg)
+	if _, err := prot.Machine.CallFunction("setup"); err != nil {
+		t.Fatal(err)
+	}
+	// Alternate two distinct traps — setup's mmap and do_protect's
+	// mprotect — so each insert displaces the other's entry.
+	for i := 0; i < 3; i++ {
+		if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+			t.Fatalf("round %d do_protect: %v", i, err)
+		}
+		if _, err := prot.Machine.CallFunction("setup"); err != nil {
+			t.Fatalf("round %d setup: %v", i, err)
+		}
+	}
+	if prot.Monitor.CacheEvictions == 0 {
+		t.Fatalf("capacity-1 cache never evicted (inserts=%d)", prot.Monitor.CacheInserts)
+	}
+	if len(prot.Monitor.Violations) != 0 {
+		t.Fatalf("violations: %v", prot.Monitor.Violations)
+	}
+}

@@ -1,0 +1,173 @@
+package monitor_test
+
+// Differential attack-matrix suite: the verdict cache must be
+// observationally invisible. For every attack in the Table 6 catalog and
+// every benchmark workload, a cache-on monitor and a cache-off monitor
+// must report byte-identical violation sets, identical kill decisions,
+// and identical ViolatedContexts — across every context set and monitor
+// mode. The cache may only change cycle accounting, never verdicts.
+
+import (
+	"fmt"
+	"testing"
+
+	"bastion/internal/attacks"
+	"bastion/internal/bench"
+	"bastion/internal/core/monitor"
+)
+
+// observation is everything externally visible about one monitored run.
+type observation struct {
+	completed  bool
+	killed     bool
+	killedBy   string
+	reason     string
+	violations []string
+	violated   monitor.Context
+}
+
+func (o observation) equal(other observation) bool {
+	if o.completed != other.completed || o.killed != other.killed ||
+		o.killedBy != other.killedBy || o.reason != other.reason ||
+		o.violated != other.violated || len(o.violations) != len(other.violations) {
+		return false
+	}
+	for i := range o.violations {
+		if o.violations[i] != other.violations[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (o observation) String() string {
+	return fmt.Sprintf("completed=%v killed=%v by=%q reason=%q violated=%v violations=%v",
+		o.completed, o.killed, o.killedBy, o.reason, o.violated, o.violations)
+}
+
+// observe runs one scenario under one defense and captures the full
+// observable outcome, including the monitor's recorded violation set.
+func observe(t *testing.T, s attacks.Scenario, d attacks.Defense) (observation, *attacks.Env) {
+	t.Helper()
+	out, env, err := attacks.ExecuteEnv(s, d)
+	if err != nil {
+		t.Fatalf("%s under %s: %v", s.ID, d.Name, err)
+	}
+	o := observation{
+		completed: out.Completed,
+		killed:    out.Killed,
+		killedBy:  out.KilledBy,
+		reason:    out.Reason,
+	}
+	mon := env.P.Monitor
+	o.violated = mon.ViolatedContexts()
+	for _, v := range mon.Violations {
+		o.violations = append(o.violations, v.String())
+	}
+	return o, env
+}
+
+// differentialCases is the monitor-configuration matrix: every context in
+// isolation and combined under full mode, plus the reduced modes (where
+// checking is disabled, so the cache must stay entirely silent).
+var differentialCases = []struct {
+	name     string
+	contexts monitor.Context
+	mode     monitor.Mode
+}{
+	{"full/CT", monitor.CallType, monitor.ModeFull},
+	{"full/CF", monitor.ControlFlow, monitor.ModeFull},
+	{"full/AI", monitor.ArgIntegrity, monitor.ModeFull},
+	{"full/all", monitor.AllContexts, monitor.ModeFull},
+	{"fetch-only/all", monitor.AllContexts, monitor.ModeFetchOnly},
+	{"hook-only/all", monitor.AllContexts, monitor.ModeHookOnly},
+}
+
+// TestDifferentialAttackMatrix runs the complete Table 6 catalog through
+// every monitor configuration twice — verdict cache off and on — and
+// requires identical observations.
+func TestDifferentialAttackMatrix(t *testing.T) {
+	var lookups, hits uint64
+	for _, s := range attacks.Catalog() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			for _, c := range differentialCases {
+				d := attacks.Defense{
+					Name: "diff/" + c.name, UseMonitor: true,
+					Contexts: c.contexts, Mode: c.mode,
+				}
+				off, _ := observe(t, s, d)
+				d.VerdictCache = true
+				on, onEnv := observe(t, s, d)
+				if !off.equal(on) {
+					t.Errorf("%s: cache changed the observable outcome\n  off: %s\n  on:  %s",
+						c.name, off, on)
+				}
+				mon := onEnv.P.Monitor
+				lookups += mon.CacheHits + mon.CacheMisses
+				hits += mon.CacheHits
+				if c.mode != monitor.ModeFull && mon.CacheHits+mon.CacheMisses+mon.CacheInserts != 0 {
+					t.Errorf("%s: cache active outside full mode (hits=%d misses=%d inserts=%d)",
+						c.name, mon.CacheHits, mon.CacheMisses, mon.CacheInserts)
+				}
+			}
+		})
+	}
+	// The attack corpus is cold-start by construction (one fresh monitor
+	// per launch, few traps each): the cache should be exercised but far
+	// from the loop-workload hit rates.
+	if lookups == 0 {
+		t.Fatal("verdict cache never consulted across the attack matrix")
+	}
+	t.Logf("attack-corpus cache hit rate: %d/%d (%.1f%%)",
+		hits, lookups, float64(hits)/float64(lookups)*100)
+}
+
+// TestDifferentialWorkloads drives the three benchmark workloads under
+// cache-off and cache-on full protection (with and without the fs
+// extension) and requires identical detection results — and, for the
+// trap-heavy fs-extension runs, an actually-exercised cache.
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, app := range bench.Apps {
+		for _, extendFS := range []bool{false, true} {
+			name := app
+			if extendFS {
+				name += "/fs"
+			}
+			t.Run(name, func(t *testing.T) {
+				spec := bench.RunSpec{App: app, Mitigation: bench.MitFull, Units: 25, ExtendFS: extendFS}
+				off, err := bench.Run(spec)
+				if err != nil {
+					t.Fatalf("cache-off run: %v", err)
+				}
+				spec.VerdictCache = true
+				on, err := bench.Run(spec)
+				if err != nil {
+					t.Fatalf("cache-on run: %v", err)
+				}
+				offMon, onMon := off.Protected.Monitor, on.Protected.Monitor
+				if len(offMon.Violations) != 0 || len(onMon.Violations) != 0 {
+					t.Fatalf("benign workload flagged: off=%v on=%v", offMon.Violations, onMon.Violations)
+				}
+				if got, want := onMon.ViolatedContexts(), offMon.ViolatedContexts(); got != want {
+					t.Fatalf("ViolatedContexts diverged: %v vs %v", got, want)
+				}
+				if off.Workload.Units != on.Workload.Units || off.Workload.Bytes != on.Workload.Bytes {
+					t.Fatalf("workload results diverged: off=%+v on=%+v", off.Workload, on.Workload)
+				}
+				if off.Workload.Traps != on.Workload.Traps {
+					t.Fatalf("trap counts diverged: %d vs %d", off.Workload.Traps, on.Workload.Traps)
+				}
+				if extendFS {
+					if onMon.CacheHits == 0 {
+						t.Fatal("fs-extension workload produced no cache hits")
+					}
+					if on.Workload.MonitorCycles >= off.Workload.MonitorCycles {
+						t.Errorf("cache-on monitor cycles %d not below cache-off %d",
+							on.Workload.MonitorCycles, off.Workload.MonitorCycles)
+					}
+				}
+			})
+		}
+	}
+}

@@ -95,11 +95,20 @@ type Costs struct {
 	CFPerFrame     uint64
 	AIPerArg       uint64
 	PointeePerByte uint64
+	// CacheLookup / CacheInsert are the verdict-cache charges: every
+	// cache-enabled trap pays one lookup; a passing miss also pays one
+	// insert. A hit then skips the CT, CF, and constant-argument charges,
+	// which is the hit/miss asymmetry the performance model measures.
+	CacheLookup uint64
+	CacheInsert uint64
 }
 
 // DefaultCosts returns the calibrated monitor cost model.
 func DefaultCosts() Costs {
-	return Costs{TrapRoundTrip: 2600, CTCheck: 60, CFPerFrame: 35, AIPerArg: 90, PointeePerByte: 2}
+	return Costs{
+		TrapRoundTrip: 2600, CTCheck: 60, CFPerFrame: 35, AIPerArg: 90, PointeePerByte: 2,
+		CacheLookup: 18, CacheInsert: 45,
+	}
 }
 
 // Config selects contexts, mode, and the protected syscall set.
@@ -125,10 +134,23 @@ type Config struct {
 	// linear comparison chain, dropping per-hook filter cost from O(n) to
 	// O(log n) BPF instructions.
 	TreeFilter bool
+	// VerdictCache memoizes the trace-dependent verdicts (CT, CF, and the
+	// constant-argument portion of AI) keyed on the syscall number and the
+	// unwound stack trace; memory-backed and pointee arguments are always
+	// re-verified against shadow memory (see cache.go). Off by default.
+	VerdictCache bool
+	// VerdictCacheCap bounds the cache; 0 selects DefaultVerdictCacheCap.
+	// The oldest entry is evicted when full.
+	VerdictCacheCap int
 	// MaxUnwindDepth bounds stack walks.
 	MaxUnwindDepth int
 	Costs          Costs
 }
+
+// DefaultVerdictCacheCap is the default verdict-cache capacity: distinct
+// (syscall, trace) pairs are bounded by the static callsite structure, so
+// a few thousand entries hold every workload's steady state.
+const DefaultVerdictCacheCap = 4096
 
 // DefaultConfig enables everything with the fast path on.
 func DefaultConfig() Config {
@@ -169,6 +191,14 @@ type Monitor struct {
 	// InitCycles is the simulated cost of monitor startup (metadata load,
 	// symbol recovery, seccomp installation).
 	InitCycles uint64
+
+	// Verdict-cache statistics (zero when the cache is disabled).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheInserts   uint64
+	CacheEvictions uint64
+
+	cache *verdictCache
 }
 
 // Attach prepares a process for protection: maps the shadow region into
@@ -185,11 +215,17 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 	if err := meta.Validate(); err != nil {
 		return nil, fmt.Errorf("monitor: %w", err)
 	}
+	if cfg.VerdictCacheCap <= 0 {
+		cfg.VerdictCacheCap = DefaultVerdictCacheCap
+	}
 	m := &Monitor{
 		Meta:       meta,
 		Cfg:        cfg,
 		proc:       proc,
 		ChecksByNr: map[uint32]uint64{},
+	}
+	if cfg.VerdictCache {
+		m.cache = newVerdictCache(cfg.VerdictCacheCap)
 	}
 	if err := shadow.MapRegion(proc.M.Mem); err != nil {
 		return nil, fmt.Errorf("monitor: mapping shadow region: %w", err)
@@ -311,9 +347,28 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 		return nil
 	}
 
-	if m.Cfg.Contexts&CallType != 0 {
+	// Verdict cache: the key must be computed over the full fetched state
+	// (trace, clean bit, const-arg registers), so lookup happens after the
+	// unwind. The fast path is already minimal and stays uncached.
+	hit := false
+	var key cacheKey
+	useCache := m.cache != nil && !fast
+	if useCache {
+		p.K.Clock.Add(m.Cfg.Costs.CacheLookup)
+		key = m.verdictKey(nr, regs, trace, clean)
+		if m.cache.contains(key) {
+			m.CacheHits++
+			hit = true
+		} else {
+			m.CacheMisses++
+		}
+	}
+	violated := false
+
+	if m.Cfg.Contexts&CallType != 0 && !hit {
 		p.K.Clock.Add(m.Cfg.Costs.CTCheck)
 		if v := m.checkCallType(nr, trace); v != nil {
+			violated = true
 			if err := m.flag(*v); err != nil {
 				return err
 			}
@@ -352,19 +407,33 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 		}
 		return nil
 	}
-	if m.Cfg.Contexts&ControlFlow != 0 {
+	if m.Cfg.Contexts&ControlFlow != 0 && !hit {
 		if v := m.checkControlFlow(nr, regs, trace, clean); v != nil {
+			violated = true
 			if err := m.flag(*v); err != nil {
 				return err
 			}
 		}
 	}
 	if m.Cfg.Contexts&ArgIntegrity != 0 {
-		if v := m.checkArgIntegrity(nr, regs, trace); v != nil {
+		// On a hit the constant-argument verdict is covered by the cache
+		// key; memory-backed and pointee arguments are re-verified always.
+		if v := m.checkArgIntegrity(nr, regs, trace, hit); v != nil {
+			violated = true
 			if err := m.flag(*v); err != nil {
 				return err
 			}
 		}
+	}
+	// Only clean passes are cached: report-only mode must re-record a
+	// recurring violation on every trap, exactly as an uncached monitor
+	// does.
+	if useCache && !hit && !violated {
+		p.K.Clock.Add(m.Cfg.Costs.CacheInsert)
+		if m.cache.insert(key) {
+			m.CacheEvictions++
+		}
+		m.CacheInserts++
 	}
 	return nil
 }
@@ -572,7 +641,16 @@ func extendedRule(nr uint32, pos int) extendedKind {
 // checkArgIntegrity enforces §7.4: the syscall frame's arguments are
 // verified against bindings and shadow copies; outer frames' bound
 // sensitive variables are verified shadow-vs-memory.
-func (m *Monitor) checkArgIntegrity(nr uint32, regs vm.Regs, trace []stackFrame) *Violation {
+//
+// The argument set splits in two for the verdict cache:
+//   - constant arguments (metadata.ArgConst) depend only on the trapping
+//     registers folded into the cache key, so constArgsCached skips them
+//     after a hit;
+//   - memory-backed and pointee arguments (metadata.ArgMem, extended
+//     rules, outer-frame sensitive variables) depend on guest memory that
+//     can change between two invocations with an identical stack, so they
+//     are verified unconditionally.
+func (m *Monitor) checkArgIntegrity(nr uint32, regs vm.Regs, trace []stackFrame, constArgsCached bool) *Violation {
 	if len(trace) == 0 {
 		return nil
 	}
@@ -597,7 +675,7 @@ func (m *Monitor) checkArgIntegrity(nr uint32, regs vm.Regs, trace []stackFrame)
 		}
 		return nil
 	}
-	if v := m.checkSyscallFrameArgs(nr, regs, site); v != nil {
+	if v := m.checkSyscallFrameArgs(nr, regs, site, constArgsCached); v != nil {
 		return v
 	}
 	// Outer frames: verify bound sensitive variables shadow-vs-memory.
@@ -642,8 +720,14 @@ func (m *Monitor) checkArgIntegrity(nr uint32, regs vm.Regs, trace []stackFrame)
 }
 
 // checkSyscallFrameArgs verifies the trapping syscall's own arguments.
-func (m *Monitor) checkSyscallFrameArgs(nr uint32, regs vm.Regs, site metadata.ArgSite) *Violation {
+// constArgsCached skips ArgConst specs (and their per-arg charge): a
+// verdict-cache hit has already proven them against the key's register
+// values.
+func (m *Monitor) checkSyscallFrameArgs(nr uint32, regs vm.Regs, site metadata.ArgSite, constArgsCached bool) *Violation {
 	for _, spec := range site.Args {
+		if spec.Kind == metadata.ArgConst && constArgsCached {
+			continue
+		}
 		m.proc.K.Clock.Add(m.Cfg.Costs.AIPerArg)
 		actual := regs.Arg(spec.Pos)
 		switch spec.Kind {
@@ -885,6 +969,10 @@ func (m *Monitor) readGuestUint(addr uint64, size int64) (uint64, error) {
 func (m *Monitor) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "BASTION monitor: contexts=%s mode=%s hooks=%d\n", m.Cfg.Contexts, m.Cfg.Mode, m.Hooks)
+	if m.cache != nil {
+		fmt.Fprintf(&b, "  verdict cache: %d hits, %d misses, %d inserts, %d evictions, %d resident (cap %d)\n",
+			m.CacheHits, m.CacheMisses, m.CacheInserts, m.CacheEvictions, m.cache.resident(), m.Cfg.VerdictCacheCap)
+	}
 	nrs := make([]uint32, 0, len(m.ChecksByNr))
 	for nr := range m.ChecksByNr {
 		nrs = append(nrs, nr)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|extras] [-units N]
+//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|fleet|extras] [-units N]
 //	bastion-bench -report out.md [-parallel] [-workers N]
 package main
 
@@ -19,12 +19,26 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | extras")
+	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | fleet | extras")
 	units := flag.Int("units", bench.DefaultUnits, "work units per measurement")
 	reportOut := flag.String("report", "", "write a complete markdown report to this file")
 	parallel := flag.Bool("parallel", false, "fan report experiments out across CPU cores (same output, less wall clock)")
 	workers := flag.Int("workers", 0, "worker pool size for -parallel (0 = NumCPU)")
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bastion-bench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *units < 1 {
+		fail("-units must be at least 1, got %d", *units)
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" && *workers < 1 {
+			fail("-workers must be at least 1 when set, got %d", *workers)
+		}
+	})
 
 	if *reportOut != "" {
 		n := 1
@@ -128,6 +142,14 @@ func main() {
 			rows = append(rows, r)
 		}
 		fmt.Println(bench.RenderCacheAblation(rows))
+		return nil
+	})
+	run("fleet", func() error {
+		res, err := bench.FleetScaling(*units)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFleetScaling(res))
 		return nil
 	})
 	run("extras", func() error {

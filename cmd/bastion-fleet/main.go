@@ -1,0 +1,142 @@
+// bastion-fleet runs the multi-tenant fleet supervisor: N protected guest
+// instances executing their workloads concurrently from one shared set of
+// compiled artifacts, with per-tenant restart policy and an aggregated
+// fleet report.
+//
+// Usage:
+//
+//	bastion-fleet [-tenants N] [-app nginx,sqlite,vsftpd] [-units N]
+//	              [-mode full|fetch-only|hook-only] [-restarts N] [-seed N]
+//	              [-det] [-workers N] [-share=false] [-cache] [-extendfs]
+//	              [-tree] [-malicious IDX] [-attack ID] [-md]
+//
+// Example: inject the vsftpd CVE into tenant 2 of a six-tenant fleet and
+// watch it get killed and restarted while its siblings run undisturbed:
+//
+//	bastion-fleet -tenants 6 -units 20 -malicious 2 -attack cve-2012-0809
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bastion/internal/core/monitor"
+	"bastion/internal/fleet"
+)
+
+func parseMode(s string) (monitor.Mode, error) {
+	switch s {
+	case "full":
+		return monitor.ModeFull, nil
+	case "fetch-only":
+		return monitor.ModeFetchOnly, nil
+	case "hook-only":
+		return monitor.ModeHookOnly, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want full, fetch-only, or hook-only)", s)
+}
+
+func splitApps(s string) []string {
+	var apps []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			apps = append(apps, a)
+		}
+	}
+	return apps
+}
+
+func main() {
+	tenants := flag.Int("tenants", 4, "number of protected guest tenants")
+	appList := flag.String("app", "nginx,sqlite,vsftpd", "comma-separated workloads, assigned round-robin by tenant index")
+	units := flag.Int("units", 20, "work units per tenant")
+	modeStr := flag.String("mode", "full", "monitor mode: full | fetch-only | hook-only")
+	restarts := flag.Int("restarts", 3, "max restarts per tenant before it is declared dead")
+	seed := flag.Int64("seed", 0, "tenant-interleaving schedule seed")
+	det := flag.Bool("det", false, "deterministic mode: run tenants serially in schedule order")
+	workers := flag.Int("workers", 0, "goroutine pool size for concurrent dispatch (0 = NumCPU)")
+	share := flag.Bool("share", true, "compile artifacts once per app and share across tenants")
+	cache := flag.Bool("cache", true, "enable the monitor verdict cache")
+	extendFS := flag.Bool("extendfs", false, "extend protection to file-system syscalls (Table 7)")
+	tree := flag.Bool("tree", false, "binary-search seccomp filter compilation")
+	malicious := flag.Int("malicious", -1, "tenant index to inject an attack into (-1 = none)")
+	attackID := flag.String("attack", "", "attack scenario ID for -malicious (must match the tenant's app)")
+	md := flag.Bool("md", false, "print the full markdown report instead of the summary line")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bastion-fleet: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tenants < 1 {
+		fail("-tenants must be at least 1, got %d", *tenants)
+	}
+	if *units < 1 {
+		fail("-units must be at least 1, got %d", *units)
+	}
+	if *restarts < 0 {
+		fail("-restarts must be non-negative, got %d", *restarts)
+	}
+	if *workers < 0 {
+		fail("-workers must be non-negative, got %d", *workers)
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	apps := splitApps(*appList)
+	if len(apps) == 0 {
+		fail("-app must name at least one workload")
+	}
+	if (*malicious >= 0) != (*attackID != "") {
+		fail("-malicious and -attack must be used together")
+	}
+
+	cfg := fleet.Config{
+		Tenants:        *tenants,
+		Apps:           apps,
+		Units:          *units,
+		Mode:           mode,
+		ExtendFS:       *extendFS,
+		VerdictCache:   *cache,
+		TreeFilter:     *tree,
+		ShareArtifacts: *share,
+		MaxRestarts:    *restarts,
+		Seed:           *seed,
+		Deterministic:  *det,
+		Workers:        *workers,
+	}
+	if *malicious >= 0 {
+		cfg.Malicious = map[int]string{*malicious: *attackID}
+	}
+
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bastion-fleet: %v\n", err)
+		os.Exit(1)
+	}
+	if *md {
+		fmt.Print(rep.Markdown())
+	} else {
+		fmt.Println(rep.String())
+		for i := range rep.Results {
+			tr := &rep.Results[i]
+			if tr.Attack != nil {
+				verdict := "blocked"
+				if tr.Attack.Completed {
+					verdict = "COMPLETED — tenant quarantined"
+				} else if tr.Attack.Killed {
+					verdict = "blocked, killed by " + tr.Attack.KilledBy
+				}
+				fmt.Printf("tenant %d (%s): attack %s %s\n", tr.Index, tr.App, tr.Attack.ID, verdict)
+			}
+			if tr.Dead {
+				fmt.Printf("tenant %d (%s): dead after %d restarts (%d units done)\n",
+					tr.Index, tr.App, tr.Restarts, tr.Units)
+			}
+		}
+	}
+}

@@ -52,16 +52,20 @@ var (
 	DefCFI  = Defense{Name: "LLVM-CFI", CFI: true}
 )
 
+// ClientConn is the client half of a guest connection, as attack payload
+// delivery needs it.
+type ClientConn interface {
+	ClientWrite([]byte) (int, error)
+	ClientReadAll() []byte
+}
+
 // Env is a launched application plus the attacker's toolbox.
 type Env struct {
 	App  string
 	P    *core.Protected
 	CET  *cet.ShadowStack
 	CFI  *llvmcfi.CFI
-	Conn interface {
-		ClientWrite([]byte) (int, error)
-		ClientReadAll() []byte
-	}
+	Conn ClientConn
 
 	// LastErr records the most recent guest-execution error (kills land
 	// here).
@@ -229,6 +233,39 @@ type Outcome struct {
 // Blocked reports whether the defense stopped the attack.
 func (o Outcome) Blocked() bool { return !o.Completed && o.Killed }
 
+// InstallFixtures writes the attack goal files (target shells, binaries,
+// served content) into a kernel's filesystem. Launch installs them
+// automatically; fleet supervisors call it on a tenant kernel before
+// replaying a scenario against that tenant.
+func InstallFixtures(k *kernel.Kernel) {
+	k.FS.WriteFile("/bin/sh", []byte("#!"), fs.ModeRead|fs.ModeExec)
+	k.FS.WriteFile("/bin/rootsh", []byte("#!"), fs.ModeRead|fs.ModeExec|fs.ModeSetUID)
+	k.FS.WriteFile("/usr/sbin/nginx", []byte{0x7f}, fs.ModeRead|fs.ModeExec)
+	k.FS.WriteFile("/usr/bin/apachectl", []byte{0x7f}, fs.ModeRead|fs.ModeExec)
+	k.FS.WriteFile("/srv/index.html", bytes.Repeat([]byte("x"), 4096), fs.ModeRead)
+	k.FS.WriteFile("/pub/file.bin", bytes.Repeat([]byte{0xab}, 16384), fs.ModeRead)
+	k.FS.MkdirAll("/var/db", fs.ModeRead|fs.ModeWrite|fs.ModeExec)
+}
+
+// Adopt wraps an already-launched protected guest in an attack
+// environment so a scenario can be replayed against it in place — the
+// fleet supervisor's malicious-tenant injection. initRet is the guest's
+// listen fd (the value Launch records from app init); conn and clientFD
+// supply an established client connection for connection-oriented
+// scenarios (nil/0 when the app's scenarios dial their own).
+func Adopt(app string, p *core.Protected, initRet uint64, conn ClientConn, clientFD uint64) *Env {
+	env := &Env{App: app, P: p, Conn: conn, clientFD: clientFD, initRet: initRet}
+	env.MarkEvents()
+	return env
+}
+
+// Replay runs one scenario against an adopted environment and reports the
+// outcome, exactly as Execute decides it for a freshly-launched guest.
+func Replay(s Scenario, env *Env) Outcome {
+	s.Run(env)
+	return outcomeOf(s, env)
+}
+
 // Launch builds, compiles, and starts the scenario's application under the
 // given defense, returning an attack environment with the app initialized
 // and one client connection established where applicable.
@@ -251,14 +288,7 @@ func Launch(app string, d Defense) (*Env, error) {
 		return nil, err
 	}
 	k := kernel.New(nil)
-	// Attack goals and fixtures.
-	k.FS.WriteFile("/bin/sh", []byte("#!"), fs.ModeRead|fs.ModeExec)
-	k.FS.WriteFile("/bin/rootsh", []byte("#!"), fs.ModeRead|fs.ModeExec|fs.ModeSetUID)
-	k.FS.WriteFile("/usr/sbin/nginx", []byte{0x7f}, fs.ModeRead|fs.ModeExec)
-	k.FS.WriteFile("/usr/bin/apachectl", []byte{0x7f}, fs.ModeRead|fs.ModeExec)
-	k.FS.WriteFile("/srv/index.html", bytes.Repeat([]byte("x"), 4096), fs.ModeRead)
-	k.FS.WriteFile("/pub/file.bin", bytes.Repeat([]byte{0xab}, 16384), fs.ModeRead)
-	k.FS.MkdirAll("/var/db", fs.ModeRead|fs.ModeWrite|fs.ModeExec)
+	InstallFixtures(k)
 
 	env := &Env{App: app}
 	var vmOpts []vm.Option
@@ -348,6 +378,12 @@ func ExecuteEnv(s Scenario, d Defense) (Outcome, *Env, error) {
 		return Outcome{}, nil, err
 	}
 	s.Run(env)
+	return outcomeOf(s, env), env, nil
+}
+
+// outcomeOf decides a scenario's outcome from the environment's observed
+// state: goal events for completion, the recorded guest error for kills.
+func outcomeOf(s Scenario, env *Env) Outcome {
 	out := Outcome{Completed: env.EventSince(s.GoalKind, s.GoalDetail)}
 	var ke *vm.KillError
 	if errors.As(env.LastErr, &ke) {
@@ -361,7 +397,7 @@ func ExecuteEnv(s Scenario, d Defense) (Outcome, *Env, error) {
 			out.Reason = cf.Why
 		}
 	}
-	return out, env, nil
+	return out
 }
 
 // Verdict evaluates a scenario's Table 6 row: whether each context, run in

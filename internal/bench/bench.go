@@ -23,8 +23,8 @@
 // Simulated time is cycle-denominated with SimHz cycles per second. Guest
 // instruction costs, kernel syscall/ptrace costs, and monitor check costs
 // are fixed in internal/vm, internal/kernel, and internal/core/monitor.
-// The per-application knobs here — I/O cost per byte and per-unit think
-// cycles — set the absolute work per request/transaction/transfer to
+// The per-application knobs — I/O cost per byte (workload.IOPerByte) and
+// per-unit think cycles — set the absolute work per request/transaction/transfer to
 // server-realistic magnitudes (a 6.7 KB HTTP request ≈ 1.9 M cycles ≈
 // 1.9 ms at SimHz). Shapes (who wins, context ordering, crossovers) are
 // measurement; absolute percentages depend on these constants and are
@@ -39,6 +39,7 @@ import (
 	"bastion/internal/baseline/llvmcfi"
 	"bastion/internal/core"
 	"bastion/internal/core/monitor"
+	"bastion/internal/fleet"
 	"bastion/internal/kernel"
 	"bastion/internal/vm"
 	"bastion/internal/workload"
@@ -95,19 +96,12 @@ func (m Mitigation) contexts() monitor.Context {
 	return 0
 }
 
-// ioPerByte is the per-application I/O + protocol work model (see package
-// comment).
-func ioPerByte(app string) uint64 {
-	switch app {
-	case "nginx":
-		return 130
-	case "sqlite":
-		return 40
-	case "vsftpd":
-		return 26
-	}
-	return kernel.DefaultCosts().IOPerByte
-}
+// sharedArtifacts deduplicates program, metadata, and seccomp-filter
+// compilation across every bench run in the process: artifacts are
+// immutable once compiled, so parallel report collection launches all its
+// measurements from one compilation per (app, filter-config) instead of
+// one per run.
+var sharedArtifacts = fleet.NewArtifacts()
 
 // RunSpec describes one measurement.
 type RunSpec struct {
@@ -127,6 +121,10 @@ type RunSpec struct {
 	// VerdictCache enables the monitor's verdict cache (the cache
 	// ablation).
 	VerdictCache bool
+	// Artifacts selects the shared compilation cache backing the run
+	// (nil = the package-wide cache). Supply a fresh fleet.NewArtifacts()
+	// to measure compilation dedup in isolation.
+	Artifacts *fleet.Artifacts
 }
 
 // RunResult couples a workload measurement with its launch context.
@@ -139,17 +137,21 @@ type RunResult struct {
 	Stats *core.Artifact
 }
 
-// Run executes one measurement from scratch (fresh program, kernel, and
-// machine).
+// Run executes one measurement on a fresh kernel and machine, launching
+// from the shared artifact cache (spec.Artifacts, or the package-wide one)
+// so repeated runs of the same app never recompile.
 func Run(spec RunSpec) (*RunResult, error) {
+	arts := spec.Artifacts
+	if arts == nil {
+		arts = sharedArtifacts
+	}
 	target, err := workload.NewTarget(spec.App)
 	if err != nil {
 		return nil, err
 	}
-	prog := target.Build()
 
 	k := kernel.New(nil)
-	k.Costs.IOPerByte = ioPerByte(spec.App)
+	k.Costs.IOPerByte = workload.IOPerByte(spec.App)
 	if err := target.Fixture(k); err != nil {
 		return nil, err
 	}
@@ -158,7 +160,8 @@ func Run(spec RunSpec) (*RunResult, error) {
 	vmOpts = append(vmOpts, vm.WithMaxSteps(1<<34))
 	switch spec.Mitigation {
 	case MitCFI:
-		if err := prog.Link(); err != nil {
+		prog, err := arts.Raw(spec.App)
+		if err != nil {
 			return nil, err
 		}
 		vmOpts = append(vmOpts, vm.WithMitigations(llvmcfi.New(prog)))
@@ -168,7 +171,7 @@ func Run(spec RunSpec) (*RunResult, error) {
 
 	res := &RunResult{Spec: spec, Target: target}
 	if ctx := spec.Mitigation.contexts(); ctx != 0 {
-		art, err := core.Compile(prog, core.CompileOptions{})
+		art, err := arts.Compiled(spec.App)
 		if err != nil {
 			return nil, err
 		}
@@ -180,6 +183,10 @@ func Run(spec RunSpec) (*RunResult, error) {
 		cfg.InKernel = spec.InKernel
 		cfg.TreeFilter = spec.TreeFilter
 		cfg.VerdictCache = spec.VerdictCache
+		cfg, err = arts.Config(spec.App, cfg)
+		if err != nil {
+			return nil, err
+		}
 		prot, err := core.Launch(art, k, cfg, vmOpts...)
 		if err != nil {
 			return nil, err
@@ -187,11 +194,11 @@ func Run(spec RunSpec) (*RunResult, error) {
 		res.Protected = prot
 		res.Stats = art
 	} else {
-		art := &core.Artifact{Prog: prog}
-		if err := prog.Link(); err != nil {
+		prog, err := arts.Raw(spec.App)
+		if err != nil {
 			return nil, err
 		}
-		prot, err := core.LaunchUnprotected(art, k, vmOpts...)
+		prot, err := core.LaunchUnprotected(&core.Artifact{Prog: prog}, k, vmOpts...)
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ type Report struct {
 	InK     []*InKernelResult
 	Filter  []*FilterAblationResult
 	Cache   []*CacheAblationResult
+	Fleet   *FleetScalingResult
 	// Timings records each experiment's wall-clock duration, in the fixed
 	// experiment order. It is rendered by TimingSummary, never by Markdown,
 	// so report documents stay byte-identical across runs and worker
@@ -72,6 +73,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 		{"table 6", func() (err error) { r.Table6, err = Table6(); return }},
 		{"table 7", func() (err error) { r.Table7, err = Table7(units); return }},
 		{"accept ablation", func() (err error) { r.Accept, err = AblationAcceptFastPath("nginx", units); return }},
+		{"fleet scaling", func() (err error) { r.Fleet, err = FleetScaling(units); return }},
 	}
 	for i, app := range Apps {
 		i, app := i, app
@@ -236,6 +238,16 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.1f%% | %.2f%% | %.2f%% |\n", cr.App,
 			cr.OffMonPerUnit, cr.OnMonPerUnit, cr.HitRate()*100,
 			cr.OffOverhead, cr.OnOverhead)
+	}
+
+	b.WriteString("\n## Fleet scaling — shared vs per-tenant compilation\n\n")
+	b.WriteString("Multi-tenant supervisor (internal/fleet) running the three apps round-robin under full protection with the verdict cache on. Tenant-visible results are asserted identical across the two compilation regimes; only setup cost differs.\n\n")
+	b.WriteString("| tenants | shared compiles (/tenant) | per-tenant compiles (/tenant) | units/s | mon cyc/unit | cache hit |\n|---|---|---|---|---|---|\n")
+	for _, row := range r.Fleet.Rows {
+		fmt.Fprintf(&b, "| %d | %d (%.3f) | %d (%.3f) | %.0f | %.0f | %.2f |\n",
+			row.Tenants, row.SharedCompiles, row.SharedCompilesPerTenant(),
+			row.PerTenantCompiles, row.PerTenantCompilesPerTenant(),
+			row.Throughput, row.MonPerUnit, row.CacheHit)
 	}
 
 	b.WriteString("\n## §9.2 / §11.2 extras\n\n")

@@ -142,6 +142,12 @@ type Config struct {
 	// VerdictCacheCap bounds the cache; 0 selects DefaultVerdictCacheCap.
 	// The oldest entry is evicted when full.
 	VerdictCacheCap int
+	// Filter, when non-nil, is a precompiled seccomp program installed
+	// verbatim instead of compiling one from metadata at attach time. It
+	// must equal what BuildFilter produces for the same metadata and
+	// config; fleet supervisors use this to compile a workload's filter
+	// once and share it immutably across many tenant launches.
+	Filter []seccomp.Insn
 	// MaxUnwindDepth bounds stack walks.
 	MaxUnwindDepth int
 	Costs          Costs
@@ -237,9 +243,12 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 		m.shadow = shadow.NewReader(proc.ReadWord)
 	}
 
-	prog, err := m.buildFilter()
-	if err != nil {
-		return nil, err
+	prog := cfg.Filter
+	if prog == nil {
+		var err error
+		if prog, err = BuildFilter(meta, cfg); err != nil {
+			return nil, err
+		}
 	}
 	if err := proc.SetSeccompFilter(prog); err != nil {
 		return nil, err
@@ -256,10 +265,13 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 	return m, nil
 }
 
-// buildFilter compiles call-type metadata into the seccomp program:
+// BuildFilter compiles call-type metadata into the seccomp program:
 // SECCOMP_RET_KILL for not-callable syscalls, SECCOMP_RET_TRACE for
-// protected callable ones, SECCOMP_RET_ALLOW otherwise (§7.1).
-func (m *Monitor) buildFilter() ([]seccomp.Insn, error) {
+// protected callable ones, SECCOMP_RET_ALLOW otherwise (§7.1). Only the
+// filter-relevant parts of cfg matter (Mode, Contexts, ExtendFS,
+// TreeFilter); the result may be shared immutably across monitors via
+// Config.Filter.
+func BuildFilter(meta *metadata.Metadata, cfg Config) ([]seccomp.Insn, error) {
 	pol := &seccomp.Policy{
 		Default:   seccomp.RetAllow,
 		Actions:   map[uint32]uint32{},
@@ -269,18 +281,18 @@ func (m *Monitor) buildFilter() ([]seccomp.Insn, error) {
 	// still evaluates a comparison per protected syscall but allows instead
 	// of stopping the tracee.
 	traceAction := seccomp.RetTrace
-	if m.Cfg.Mode == ModeHookOnly {
+	if cfg.Mode == ModeHookOnly {
 		traceAction = seccomp.RetAllow
 	}
 	notCallableAction := seccomp.RetKill
-	if m.Cfg.Contexts&CallType == 0 && m.Cfg.Mode == ModeFull {
+	if cfg.Contexts&CallType == 0 && cfg.Mode == ModeFull {
 		// With the call-type context disabled (per-context security runs),
 		// route not-callable syscalls to the monitor so the remaining
 		// contexts can judge them instead of the filter killing outright.
 		notCallableAction = seccomp.RetTrace
 	}
 	for nr := range kernel.Names {
-		ct, used := m.Meta.CallTypes[nr]
+		ct, used := meta.CallTypes[nr]
 		switch {
 		case !used || !ct.Callable():
 			pol.Actions[nr] = notCallableAction
@@ -291,14 +303,14 @@ func (m *Monitor) buildFilter() ([]seccomp.Insn, error) {
 	// exit paths must never be killed even if unused by the program body.
 	delete(pol.Actions, kernel.SysExit)
 	delete(pol.Actions, kernel.SysExitGroup)
-	if m.Cfg.ExtendFS {
+	if cfg.ExtendFS {
 		for _, nr := range kernel.FileSystemSyscalls {
-			if ct, used := m.Meta.CallTypes[nr]; used && ct.Callable() {
+			if ct, used := meta.CallTypes[nr]; used && ct.Callable() {
 				pol.Actions[nr] = traceAction
 			}
 		}
 	}
-	if m.Cfg.TreeFilter {
+	if cfg.TreeFilter {
 		return pol.CompileTree()
 	}
 	return pol.Compile()

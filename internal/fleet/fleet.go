@@ -1,0 +1,546 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"bastion/internal/attacks"
+	"bastion/internal/core"
+	"bastion/internal/core/monitor"
+	"bastion/internal/kernel"
+	"bastion/internal/vm"
+	"bastion/internal/workload"
+)
+
+// SimHz converts simulated cycles to seconds (1 GHz), matching the bench
+// calibration.
+const SimHz = 1e9
+
+// Default restart-backoff parameters, in simulated cycles: 1 ms base,
+// doubling per consecutive failure, capped at 64 ms.
+const (
+	DefaultBackoffBase uint64 = 1_000_000
+	DefaultBackoffCap  uint64 = 64_000_000
+	defaultMaxSteps    uint64 = 1 << 34
+)
+
+// Config describes one fleet run.
+type Config struct {
+	// Tenants is the number of protected guest instances.
+	Tenants int
+	// Apps assigns workloads round-robin by tenant index; len ≥ 1.
+	Apps []string
+	// Units is the per-tenant work-unit count.
+	Units int
+
+	// Contexts defaults to monitor.AllContexts when zero-valued together
+	// with UseContexts=false; set UseContexts to enforce an explicit mask.
+	Contexts    monitor.Context
+	UseContexts bool
+	// Mode, ExtendFS, VerdictCache, and TreeFilter select the monitor
+	// configuration every tenant runs under.
+	Mode         monitor.Mode
+	ExtendFS     bool
+	VerdictCache bool
+	TreeFilter   bool
+
+	// ShareArtifacts compiles each workload's program, metadata, and
+	// seccomp filter once and shares them across tenants. When false,
+	// every incarnation compiles privately (the ablation baseline).
+	ShareArtifacts bool
+
+	// MaxRestarts caps restarts per tenant; a failure beyond the cap
+	// leaves the tenant dead with its partial progress recorded.
+	MaxRestarts int
+	// BackoffBase / BackoffCap shape the capped exponential restart
+	// backoff, in simulated cycles (0 selects the defaults).
+	BackoffBase uint64
+	BackoffCap  uint64
+
+	// Seed fixes the tenant-interleaving schedule; Deterministic runs
+	// tenants serially in that schedule order, making a fleet run fully
+	// reproducible. Concurrent runs dispatch in the same schedule order
+	// across Workers goroutines (0 = NumCPU, capped at Tenants); results
+	// are identical either way because tenants share no mutable state.
+	Seed          int64
+	Deterministic bool
+	Workers       int
+
+	// Malicious maps tenant index → attack scenario ID to replay against
+	// that tenant mid-run (after half its first incarnation's units). The
+	// scenario's app must match the tenant's workload.
+	Malicious map[int]string
+	// FaultAt maps tenant index → global unit index at which to inject a
+	// one-shot unit failure (restart-path testing).
+	FaultAt map[int]int
+
+	// MaxSteps bounds each incarnation's guest execution (0 = default).
+	MaxSteps uint64
+}
+
+// Validate rejects nonsensical configurations.
+func (c *Config) Validate() error {
+	if c.Tenants <= 0 {
+		return fmt.Errorf("fleet: tenants must be positive, got %d", c.Tenants)
+	}
+	if c.Units <= 0 {
+		return fmt.Errorf("fleet: units must be positive, got %d", c.Units)
+	}
+	if len(c.Apps) == 0 {
+		return errors.New("fleet: at least one app required")
+	}
+	for _, app := range c.Apps {
+		if _, err := workload.NewTarget(app); err != nil {
+			return err
+		}
+	}
+	if c.MaxRestarts < 0 {
+		return fmt.Errorf("fleet: max restarts must be non-negative, got %d", c.MaxRestarts)
+	}
+	for idx, id := range c.Malicious {
+		if idx < 0 || idx >= c.Tenants {
+			return fmt.Errorf("fleet: malicious tenant %d outside fleet of %d", idx, c.Tenants)
+		}
+		s, ok := attacks.ByID(id)
+		if !ok {
+			return fmt.Errorf("fleet: unknown attack scenario %q", id)
+		}
+		if s.App != c.appOf(idx) {
+			return fmt.Errorf("fleet: attack %q targets %s but tenant %d runs %s",
+				id, s.App, idx, c.appOf(idx))
+		}
+	}
+	return nil
+}
+
+// DefaultConfig returns a full-protection fleet configuration: all
+// contexts, full mode, shared artifacts, three restarts with default
+// backoff.
+func DefaultConfig(tenants, units int, apps ...string) Config {
+	if len(apps) == 0 {
+		apps = []string{"nginx", "sqlite", "vsftpd"}
+	}
+	return Config{
+		Tenants:        tenants,
+		Apps:           apps,
+		Units:          units,
+		ShareArtifacts: true,
+		MaxRestarts:    3,
+	}
+}
+
+func (c *Config) appOf(idx int) string { return c.Apps[idx%len(c.Apps)] }
+
+func (c *Config) contexts() monitor.Context {
+	if c.UseContexts {
+		return c.Contexts
+	}
+	return monitor.AllContexts
+}
+
+// AttackOutcome records what the injected attack achieved on a malicious
+// tenant.
+type AttackOutcome struct {
+	ID        string
+	Completed bool // the attack reached its kernel-event goal
+	Killed    bool // the defense terminated the guest
+	KilledBy  string
+	Reason    string
+}
+
+// TenantResult summarizes one tenant across all its incarnations.
+type TenantResult struct {
+	Index int
+	App   string
+
+	// Units is the number of work units completed; Bytes the application
+	// bytes moved.
+	Units int
+	Bytes int64
+
+	// Restarts counts incarnations beyond the first; Kills security
+	// terminations (seccomp or monitor); Faults non-security failures.
+	Restarts int
+	Kills    int
+	Faults   int
+	// KilledBy is the last security-kill source ("seccomp", "monitor").
+	KilledBy string
+	// Dead marks a tenant whose restart budget was exhausted (or that was
+	// quarantined after a completed attack); its counters hold partial
+	// progress.
+	Dead bool
+
+	// Cycle accounts, summed across incarnations. SetupCycles is monitor
+	// attach cost; InitCycles application init; TotalCycles steady state
+	// (monitor share in MonitorCycles); BackoffCycles restart penalties.
+	SetupCycles   uint64
+	InitCycles    uint64
+	TotalCycles   uint64
+	MonitorCycles uint64
+	BackoffCycles uint64
+	Traps         uint64
+
+	// Verdict-cache statistics, summed across incarnations.
+	CacheHits   uint64
+	CacheMisses uint64
+
+	// Violations are the monitor's recorded context violations, in order;
+	// ViolationMask is their context union.
+	Violations    []string
+	ViolationMask monitor.Context
+
+	// Attack is non-nil for a malicious tenant; Compromised marks an
+	// attack that completed its goal.
+	Attack      *AttackOutcome
+	Compromised bool
+}
+
+// PerUnitTotal returns steady-state cycles per completed unit.
+func (t *TenantResult) PerUnitTotal() float64 {
+	if t.Units == 0 {
+		return 0
+	}
+	return float64(t.TotalCycles) / float64(t.Units)
+}
+
+// PerUnitMonitor returns monitor cycles per completed unit.
+func (t *TenantResult) PerUnitMonitor() float64 {
+	if t.Units == 0 {
+		return 0
+	}
+	return float64(t.MonitorCycles) / float64(t.Units)
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 with no lookups.
+func (t *TenantResult) CacheHitRate() float64 {
+	if total := t.CacheHits + t.CacheMisses; total > 0 {
+		return float64(t.CacheHits) / float64(total)
+	}
+	return 0
+}
+
+// ElapsedCycles is the tenant's full simulated timeline: setup + init +
+// steady state + restart backoff.
+func (t *TenantResult) ElapsedCycles() uint64 {
+	return t.SetupCycles + t.InitCycles + t.TotalCycles + t.BackoffCycles
+}
+
+// Run executes a fleet per the configuration and aggregates the report.
+// Configuration and compilation errors abort the run; tenant runtime
+// failures (kills, faults, exhausted restart budgets) are data in the
+// report, never errors.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shared := NewArtifacts()
+	schedule := rand.New(rand.NewSource(cfg.Seed)).Perm(cfg.Tenants)
+
+	rep := &Report{
+		Cfg:      cfg,
+		Schedule: schedule,
+		Results:  make([]TenantResult, cfg.Tenants),
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		privN    int // compilations performed outside the shared cache
+		privF    int
+	)
+	runOne := func(idx int) {
+		res, priv, err := runTenant(&cfg, idx, shared)
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Results[idx] = res
+		if priv != nil {
+			privN += priv.Compiles()
+			privF += priv.FilterCompiles()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fleet: tenant %d: %w", idx, err)
+		}
+	}
+
+	if cfg.Deterministic {
+		for _, idx := range schedule {
+			runOne(idx)
+		}
+	} else {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		if workers > cfg.Tenants {
+			workers = cfg.Tenants
+		}
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range ch {
+					runOne(idx)
+				}
+			}()
+		}
+		for _, idx := range schedule {
+			ch <- idx
+		}
+		close(ch)
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep.Compiles = shared.Compiles() + privN
+	rep.FilterCompiles = shared.FilterCompiles() + privF
+	return rep, nil
+}
+
+// faultyTarget injects one unit failure at a global unit index.
+type faultyTarget struct {
+	workload.Target
+	base    int // global index of this incarnation's unit 0
+	faultAt int
+	fired   *bool
+}
+
+func (f *faultyTarget) Unit(p *core.Protected, i int) (int64, error) {
+	if !*f.fired && f.base+i == f.faultAt {
+		*f.fired = true
+		return 0, fmt.Errorf("injected fault at unit %d", f.faultAt)
+	}
+	return f.Target.Unit(p, i)
+}
+
+// runTenant drives one tenant to completion, restarting incarnations per
+// policy. It returns the tenant's private artifact cache when sharing is
+// disabled (for compile accounting). Only compile/launch errors — broken
+// configuration, not guest behavior — are returned as errors.
+func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifacts, error) {
+	app := cfg.appOf(idx)
+	res := TenantResult{Index: idx, App: app}
+
+	arts := shared
+	var priv *Artifacts
+	if !cfg.ShareArtifacts {
+		priv = NewArtifacts()
+		arts = priv
+	}
+
+	attackID, malicious := cfg.Malicious[idx]
+	attackDone := false
+	faultAt, hasFault := cfg.FaultAt[idx]
+	faultFired := false
+	attempt := 0
+
+	for res.Units < cfg.Units && !res.Dead {
+		if attempt > 0 {
+			shift := attempt - 1
+			if shift > 30 {
+				shift = 30
+			}
+			backoff := cfg.BackoffBase
+			if backoff == 0 {
+				backoff = DefaultBackoffBase
+			}
+			backoff <<= shift
+			cap := cfg.BackoffCap
+			if cap == 0 {
+				cap = DefaultBackoffCap
+			}
+			if backoff > cap {
+				backoff = cap
+			}
+			res.BackoffCycles += backoff
+		}
+
+		// When sharing is off, every incarnation recompiles from scratch,
+		// exactly as standalone launches would.
+		if priv != nil && attempt > 0 {
+			priv = NewArtifacts()
+			arts = priv
+		}
+
+		prot, target, err := launchTenant(cfg, app, malicious && !attackDone, arts)
+		if err != nil {
+			return res, priv, err
+		}
+		res.SetupCycles += prot.Monitor.InitCycles
+
+		remaining := cfg.Units - res.Units
+		runUnits := remaining
+		injectAttack := malicious && !attackDone
+		if injectAttack && remaining > 1 {
+			// The attack strikes mid-incarnation: run half the remaining
+			// units benignly first.
+			runUnits = remaining / 2
+		}
+
+		var driver workload.Target = target
+		if hasFault && !faultFired {
+			driver = &faultyTarget{Target: target, base: res.Units, faultAt: faultAt, fired: &faultFired}
+		}
+
+		wl, runErr := workload.Run(driver, prot, runUnits)
+		accumulate(&res, wl, prot)
+
+		if runErr != nil {
+			retire(cfg, &res, &attempt, classifyKill(runErr))
+			continue
+		}
+
+		if injectAttack {
+			attackDone = true
+			out := replayAttack(cfg, app, attackID, prot, target)
+			res.Attack = &out
+			if out.Completed {
+				// The defense let the attack through: quarantine the
+				// tenant rather than keep serving from a compromised guest.
+				res.Compromised = true
+				res.Dead = true
+				drainMonitor(&res, prot)
+				break
+			}
+			drainMonitor(&res, prot)
+			if out.Killed {
+				res.KilledBy = out.KilledBy
+				retire(cfg, &res, &attempt, true)
+				continue
+			}
+			// Blocked without a kill: recycle the incarnation to finish the
+			// remaining units on a clean guest (no failure charged).
+			res.Restarts++
+			continue
+		}
+
+		drainMonitor(&res, prot)
+		if res.Units >= cfg.Units {
+			break
+		}
+		// Incarnation finished its slice without error but units remain
+		// (post-restart continuation): loop launches the next incarnation.
+	}
+	return res, priv, nil
+}
+
+// launchTenant builds one incarnation: fresh kernel and clock, fixtures,
+// and a monitored launch from (possibly shared) artifacts.
+func launchTenant(cfg *Config, app string, withAttackFixtures bool, arts *Artifacts) (*core.Protected, workload.Target, error) {
+	target, err := workload.NewTarget(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	art, err := arts.Compiled(app)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	k := kernel.New(nil)
+	k.Costs.IOPerByte = workload.IOPerByte(app)
+	if withAttackFixtures {
+		// Before the workload fixture, so workload-owned paths win.
+		attacks.InstallFixtures(k)
+	}
+	if err := target.Fixture(k); err != nil {
+		return nil, nil, err
+	}
+
+	mcfg := monitor.DefaultConfig()
+	mcfg.Contexts = cfg.contexts()
+	mcfg.Mode = cfg.Mode
+	mcfg.ExtendFS = cfg.ExtendFS
+	mcfg.TreeFilter = cfg.TreeFilter
+	mcfg.VerdictCache = cfg.VerdictCache
+	mcfg, err = arts.Config(app, mcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	prot, err := core.Launch(art, k, mcfg, vm.WithMaxSteps(maxSteps))
+	if err != nil {
+		return nil, nil, err
+	}
+	return prot, target, nil
+}
+
+// replayAttack adopts the live tenant into an attack environment and runs
+// the scenario against it.
+func replayAttack(cfg *Config, app, id string, prot *core.Protected, target workload.Target) AttackOutcome {
+	s, _ := attacks.ByID(id) // validated in Config.Validate
+	var env *attacks.Env
+	switch t := target.(type) {
+	case *workload.Nginx:
+		env = attacks.Adopt(app, prot, t.ListenFD(), nil, 0)
+	case *workload.SQLite:
+		conn, fd := t.Terminal(0)
+		env = attacks.Adopt(app, prot, t.ListenFD(), conn, fd)
+	case *workload.Vsftpd:
+		env = attacks.Adopt(app, prot, t.ListenFD(), nil, 0)
+	default:
+		env = attacks.Adopt(app, prot, 0, nil, 0)
+	}
+	out := attacks.Replay(s, env)
+	return AttackOutcome{
+		ID:        id,
+		Completed: out.Completed,
+		Killed:    out.Killed,
+		KilledBy:  out.KilledBy,
+		Reason:    out.Reason,
+	}
+}
+
+// accumulate folds one incarnation's workload measurement into the tenant
+// totals.
+func accumulate(res *TenantResult, wl workload.Result, prot *core.Protected) {
+	res.Units += wl.Units
+	res.Bytes += wl.Bytes
+	res.InitCycles += wl.InitCycles
+	res.TotalCycles += wl.TotalCycles
+	res.MonitorCycles += wl.MonitorCycles
+	res.Traps += wl.Traps
+	_ = prot
+}
+
+// drainMonitor folds the incarnation's monitor-side statistics into the
+// tenant totals (called once per incarnation, after its last guest work).
+func drainMonitor(res *TenantResult, prot *core.Protected) {
+	mon := prot.Monitor
+	res.CacheHits += mon.CacheHits
+	res.CacheMisses += mon.CacheMisses
+	for _, v := range mon.Violations {
+		res.Violations = append(res.Violations, v.String())
+		res.ViolationMask |= v.Context
+	}
+}
+
+// retire ends an incarnation after a failure, charging the right counter
+// and the restart budget. kill selects the security-kill counter.
+func retire(cfg *Config, res *TenantResult, attempt *int, kill bool) {
+	if kill {
+		res.Kills++
+	} else {
+		res.Faults++
+	}
+	if res.Restarts >= cfg.MaxRestarts {
+		res.Dead = true
+		return
+	}
+	res.Restarts++
+	*attempt++
+}
+
+// classifyKill reports whether a workload error is a security kill
+// (seccomp or monitor) as opposed to a fault.
+func classifyKill(err error) bool {
+	var ke *vm.KillError
+	return errors.As(err, &ke)
+}

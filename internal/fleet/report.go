@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bastion/internal/core/monitor"
+)
+
+// Report aggregates one fleet run: the configuration, the seeded dispatch
+// schedule, every tenant's result, and the run's compilation counts. All
+// derived statistics are pure functions of the tenant results, so a report
+// is byte-identical across reruns with the same configuration and seed.
+type Report struct {
+	Cfg      Config
+	Schedule []int
+	Results  []TenantResult
+
+	// Compiles / FilterCompiles count program and seccomp-filter
+	// compilations across the whole run (shared cache plus any per-tenant
+	// private compilations) — the setup-cost axis of the sharing ablation.
+	Compiles       int
+	FilterCompiles int
+}
+
+// TotalUnits sums completed units across tenants.
+func (r *Report) TotalUnits() int {
+	n := 0
+	for i := range r.Results {
+		n += r.Results[i].Units
+	}
+	return n
+}
+
+// TotalBytes sums application bytes moved across tenants.
+func (r *Report) TotalBytes() int64 {
+	var n int64
+	for i := range r.Results {
+		n += r.Results[i].Bytes
+	}
+	return n
+}
+
+// Restarts, Kills, Faults, and Dead roll up the fleet's failure handling.
+func (r *Report) Restarts() int { return r.sum(func(t *TenantResult) int { return t.Restarts }) }
+
+// Kills sums security terminations across tenants.
+func (r *Report) Kills() int { return r.sum(func(t *TenantResult) int { return t.Kills }) }
+
+// Faults sums non-security failures across tenants.
+func (r *Report) Faults() int { return r.sum(func(t *TenantResult) int { return t.Faults }) }
+
+// Dead counts tenants that exhausted their restart budget or were
+// quarantined after a completed attack.
+func (r *Report) Dead() int {
+	n := 0
+	for i := range r.Results {
+		if r.Results[i].Dead {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Report) sum(f func(*TenantResult) int) int {
+	n := 0
+	for i := range r.Results {
+		n += f(&r.Results[i])
+	}
+	return n
+}
+
+// WallCycles is the fleet's simulated makespan: tenants run in parallel on
+// independent clocks, so the fleet is done when its slowest tenant is.
+func (r *Report) WallCycles() uint64 {
+	var max uint64
+	for i := range r.Results {
+		if e := r.Results[i].ElapsedCycles(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Throughput is fleet-wide completed units per simulated second.
+func (r *Report) Throughput() float64 {
+	wall := r.WallCycles()
+	if wall == 0 {
+		return 0
+	}
+	return float64(r.TotalUnits()) / (float64(wall) / SimHz)
+}
+
+// MonitorCyclesPerUnit is the fleet-wide monitor cost per completed unit.
+func (r *Report) MonitorCyclesPerUnit() float64 {
+	units := r.TotalUnits()
+	if units == 0 {
+		return 0
+	}
+	var mon uint64
+	for i := range r.Results {
+		mon += r.Results[i].MonitorCycles
+	}
+	return float64(mon) / float64(units)
+}
+
+// CacheHitRate is the fleet-wide verdict-cache hit rate.
+func (r *Report) CacheHitRate() float64 {
+	var hits, misses uint64
+	for i := range r.Results {
+		hits += r.Results[i].CacheHits
+		misses += r.Results[i].CacheMisses
+	}
+	if total := hits + misses; total > 0 {
+		return float64(hits) / float64(total)
+	}
+	return 0
+}
+
+// ViolationsByContext rolls up recorded violations by their context mask
+// contribution: one count per violating context across all tenants.
+func (r *Report) ViolationsByContext() map[monitor.Context]int {
+	out := map[monitor.Context]int{}
+	for i := range r.Results {
+		t := &r.Results[i]
+		n := len(t.Violations)
+		if n == 0 {
+			continue
+		}
+		for _, ctx := range []monitor.Context{monitor.CallType, monitor.ControlFlow, monitor.ArgIntegrity} {
+			if t.ViolationMask&ctx != 0 {
+				out[ctx] += countContext(t.Violations, ctx)
+			}
+		}
+	}
+	return out
+}
+
+func countContext(violations []string, ctx monitor.Context) int {
+	prefix := ctx.String() + " violation"
+	n := 0
+	for _, v := range violations {
+		if strings.HasPrefix(v, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetupCyclesPerTenant is the mean monitor-attach (setup) cost per tenant
+// — the latency axis of the sharing ablation (compilation cost shows up in
+// Compiles, not cycles, since compilation happens host-side).
+func (r *Report) SetupCyclesPerTenant() float64 {
+	if len(r.Results) == 0 {
+		return 0
+	}
+	var setup uint64
+	for i := range r.Results {
+		setup += r.Results[i].SetupCycles
+	}
+	return float64(setup) / float64(len(r.Results))
+}
+
+// CompilesPerTenant is the run's program compilations amortized over the
+// fleet: with sharing on this falls toward apps/tenants; with sharing off
+// it stays ≥ 1.
+func (r *Report) CompilesPerTenant() float64 {
+	if len(r.Results) == 0 {
+		return 0
+	}
+	return float64(r.Compiles) / float64(len(r.Results))
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// Markdown renders the aggregated report deterministically: no wall-clock
+// host timings, stable ordering throughout.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Fleet report: %d tenants × %d units (%s)\n\n",
+		r.Cfg.Tenants, r.Cfg.Units, strings.Join(r.Cfg.Apps, ","))
+	fmt.Fprintf(&b, "Mode %s, contexts %s, cache %s, tree filter %s, shared artifacts %s, seed %d.\n",
+		r.Cfg.Mode, r.Cfg.contexts(), yn(r.Cfg.VerdictCache), yn(r.Cfg.TreeFilter),
+		yn(r.Cfg.ShareArtifacts), r.Cfg.Seed)
+	fmt.Fprintf(&b, "Dispatch schedule: %v\n\n", r.Schedule)
+
+	b.WriteString("| tenant | app | units | restarts | kills | faults | dead | mon cyc/unit | cache hit | violations | backoff cyc |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for i := range r.Results {
+		t := &r.Results[i]
+		state := ""
+		if t.Dead {
+			state = "dead"
+			if t.Compromised {
+				state = "compromised"
+			}
+		}
+		fmt.Fprintf(&b, "| %d | %s | %d | %d | %d | %d | %s | %.0f | %.2f | %d | %d |\n",
+			t.Index, t.App, t.Units, t.Restarts, t.Kills, t.Faults, state,
+			t.PerUnitMonitor(), t.CacheHitRate(), len(t.Violations), t.BackoffCycles)
+	}
+
+	fmt.Fprintf(&b, "\nFleet: %d units, %.0f units/s, %.0f monitor cyc/unit, cache hit %.2f.\n",
+		r.TotalUnits(), r.Throughput(), r.MonitorCyclesPerUnit(), r.CacheHitRate())
+	fmt.Fprintf(&b, "Failures: %d restarts, %d kills, %d faults, %d dead tenants.\n",
+		r.Restarts(), r.Kills(), r.Faults(), r.Dead())
+	fmt.Fprintf(&b, "Setup: %d program compiles (%.2f/tenant), %d filter compiles, %.0f attach cyc/tenant.\n",
+		r.Compiles, r.CompilesPerTenant(), r.FilterCompiles, r.SetupCyclesPerTenant())
+
+	if v := r.ViolationsByContext(); len(v) > 0 {
+		ctxs := make([]monitor.Context, 0, len(v))
+		for ctx := range v {
+			ctxs = append(ctxs, ctx)
+		}
+		sort.Slice(ctxs, func(i, j int) bool { return ctxs[i] < ctxs[j] })
+		parts := make([]string, 0, len(ctxs))
+		for _, ctx := range ctxs {
+			parts = append(parts, fmt.Sprintf("%s=%d", ctx, v[ctx]))
+		}
+		fmt.Fprintf(&b, "Violations by context: %s.\n", strings.Join(parts, ", "))
+	}
+
+	attacked := false
+	for i := range r.Results {
+		if r.Results[i].Attack != nil {
+			if !attacked {
+				b.WriteString("\n### Injected attacks\n\n")
+				attacked = true
+			}
+			t := &r.Results[i]
+			a := t.Attack
+			verdict := "blocked"
+			if a.Completed {
+				verdict = "COMPLETED (tenant quarantined)"
+			} else if a.Killed {
+				verdict = fmt.Sprintf("blocked, guest killed by %s", a.KilledBy)
+			}
+			fmt.Fprintf(&b, "- tenant %d (%s): %s — %s (%s)\n", t.Index, t.App, a.ID, verdict, a.Reason)
+		}
+	}
+	return b.String()
+}
+
+// String returns a one-line fleet summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("fleet %d×%d [%s] mode=%s: %d units, %.0f units/s, %d restarts, %d kills, %d dead, %d compiles",
+		r.Cfg.Tenants, r.Cfg.Units, strings.Join(r.Cfg.Apps, ","), r.Cfg.Mode,
+		r.TotalUnits(), r.Throughput(), r.Restarts(), r.Kills(), r.Dead(), r.Compiles)
+}

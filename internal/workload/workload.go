@@ -71,11 +71,15 @@ func (r Result) PerUnitMonitor() float64 {
 }
 
 // Run initializes the target and executes units, separating init-phase
-// from steady-state cycle counts.
+// from steady-state cycle counts. On a unit error the returned Result
+// still carries the steady-state counters accumulated up to the failure
+// (units completed, cycles, monitor share, traps), so supervisors that
+// restart a failed guest can account for real partial progress.
 func Run(t Target, p *core.Protected, units int) (Result, error) {
 	var res Result
 	startInit := p.Kernel.Clock.Cycles
 	if err := t.Init(p); err != nil {
+		res.InitCycles = p.Kernel.Clock.Cycles - startInit
 		return res, fmt.Errorf("workload %s init: %w", t.Name(), err)
 	}
 	res.InitCycles = p.Kernel.Clock.Cycles - startInit
@@ -83,19 +87,38 @@ func Run(t Target, p *core.Protected, units int) (Result, error) {
 	start := p.Kernel.Clock.Cycles
 	monStart := p.Proc.MonitorCycles
 	trapStart := p.Proc.TrapCount
+	settle := func() {
+		res.TotalCycles = p.Kernel.Clock.Cycles - start
+		res.MonitorCycles = p.Proc.MonitorCycles - monStart
+		res.Traps = p.Proc.TrapCount - trapStart
+	}
 	for i := 0; i < units; i++ {
 		n, err := t.Unit(p, i)
 		if err != nil {
+			settle()
 			return res, fmt.Errorf("workload %s unit %d: %w", t.Name(), i, err)
 		}
 		p.Kernel.Clock.Add(t.ThinkPerUnit())
 		res.Bytes += n
 		res.Units++
 	}
-	res.TotalCycles = p.Kernel.Clock.Cycles - start
-	res.MonitorCycles = p.Proc.MonitorCycles - monStart
-	res.Traps = p.Proc.TrapCount - trapStart
+	settle()
 	return res, nil
+}
+
+// IOPerByte is the per-application I/O + protocol work model charged per
+// byte moved through the simulated kernel (see internal/bench's
+// measurement-model comment for calibration).
+func IOPerByte(app string) uint64 {
+	switch app {
+	case "nginx":
+		return 130
+	case "sqlite":
+		return 40
+	case "vsftpd":
+		return 26
+	}
+	return kernel.DefaultCosts().IOPerByte
 }
 
 // --- NGINX / wrk ---
@@ -156,6 +179,10 @@ func (t *Nginx) Init(p *core.Protected) error {
 	t.lfd = lfd
 	return nil
 }
+
+// ListenFD returns the guest listen fd established by Init (attack replay
+// drives the request path through it).
+func (t *Nginx) ListenFD() uint64 { return t.lfd }
 
 // Unit implements Target: one HTTP request/response.
 func (t *Nginx) Unit(p *core.Protected, i int) (int64, error) {
@@ -242,6 +269,18 @@ func (t *SQLite) Init(p *core.Protected) error {
 		t.fds = append(t.fds, fd)
 	}
 	return nil
+}
+
+// ListenFD returns the guest listen fd established by Init.
+func (t *SQLite) ListenFD() uint64 { return t.lfd }
+
+// Terminal returns the i-th established terminal connection and its guest
+// fd (attack replay delivers payloads through a live terminal).
+func (t *SQLite) Terminal(i int) (*netstack.Conn, uint64) {
+	if i < 0 || i >= len(t.conns) {
+		return nil, 0
+	}
+	return t.conns[i], t.fds[i]
 }
 
 // Unit implements Target: one new-order transaction.
@@ -333,6 +372,9 @@ func (t *Vsftpd) Init(p *core.Protected) error {
 	ctrl.ClientReadAll()
 	return nil
 }
+
+// ListenFD returns the guest listen fd established by Init.
+func (t *Vsftpd) ListenFD() uint64 { return t.lfd }
 
 // Unit implements Target: one passive-mode download.
 func (t *Vsftpd) Unit(p *core.Protected, i int) (int64, error) {

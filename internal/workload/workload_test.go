@@ -1,6 +1,7 @@
 package workload_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -149,5 +150,52 @@ func TestNginxRejectsShortBody(t *testing.T) {
 	}
 	if _, err := workload.Run(target, prot, 1); err == nil || !strings.Contains(err.Error(), "served") {
 		t.Fatalf("short body not detected: %v", err)
+	}
+}
+
+// failAfter wraps a target and fails its Unit at a fixed index.
+type failAfter struct {
+	workload.Target
+	at int
+}
+
+func (f *failAfter) Unit(p *core.Protected, i int) (int64, error) {
+	if i == f.at {
+		return 0, errFault
+	}
+	return f.Target.Unit(p, i)
+}
+
+var errFault = errors.New("injected unit fault")
+
+// TestRunPartialCountersOnUnitError: when a unit fails, the returned
+// Result still carries the steady-state counters for the units that did
+// complete, so supervisors can account for real partial progress.
+func TestRunPartialCountersOnUnitError(t *testing.T) {
+	target := workload.NewNginx()
+	prot := launch(t, target, true)
+
+	res, err := workload.Run(&failAfter{Target: target, at: 3}, prot, 6)
+	if !errors.Is(err, errFault) {
+		t.Fatalf("err = %v, want the injected fault", err)
+	}
+	if res.Units != 3 {
+		t.Fatalf("partial result recorded %d units, want 3", res.Units)
+	}
+	if res.InitCycles == 0 {
+		t.Error("partial result lost init cycles")
+	}
+	if res.TotalCycles == 0 || res.MonitorCycles == 0 || res.Traps == 0 {
+		t.Errorf("partial result lost steady-state counters: %+v", res)
+	}
+
+	// The partial counters must equal a clean 3-unit run's exactly.
+	clean, err := workload.Run(workload.NewNginx(), launch(t, workload.NewNginx(), true), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != clean.Bytes || res.TotalCycles != clean.TotalCycles ||
+		res.MonitorCycles != clean.MonitorCycles || res.Traps != clean.Traps {
+		t.Errorf("partial result %+v != clean 3-unit run %+v", res, clean)
 	}
 }

@@ -1,0 +1,95 @@
+// bastion-audit is the whole-program policy auditor: it compiles one (or
+// all) of the bundled guest applications, cross-validates the generated
+// context metadata against the instrumented program, and prints a
+// deterministic findings report plus the per-syscall residual attack
+// surface before and after points-to refinement.
+//
+// Usage:
+//
+//	bastion-audit [-app nginx|sqlite|vsftpd|all] [-allowlist file] [-strict] [-residual=false]
+//
+// Exit status: 0 when the audit is clean, 1 when any error-severity
+// finding is present (or, with -strict, when any finding survives the
+// allowlist), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bastion/internal/apps/nginx"
+	"bastion/internal/apps/sqlitedb"
+	"bastion/internal/apps/vsftpd"
+	"bastion/internal/audit"
+	"bastion/internal/core"
+	"bastion/internal/ir"
+)
+
+var builders = map[string]func() *ir.Program{
+	"nginx":  nginx.Build,
+	"sqlite": sqlitedb.Build,
+	"vsftpd": vsftpd.Build,
+}
+
+func main() {
+	app := flag.String("app", "all", "guest application: nginx | sqlite | vsftpd | all")
+	allowFile := flag.String("allowlist", "", "allowlist file: one \"CODE location\" key per line, '#' comments")
+	strict := flag.Bool("strict", false, "fail on any finding not covered by the allowlist (warnings included)")
+	residual := flag.Bool("residual", true, "print the per-syscall residual-surface table")
+	flag.Parse()
+
+	var apps []string
+	switch *app {
+	case "all":
+		apps = []string{"nginx", "sqlite", "vsftpd"}
+	default:
+		if builders[*app] == nil {
+			fmt.Fprintf(os.Stderr, "bastion-audit: unknown app %q\n", *app)
+			os.Exit(2)
+		}
+		apps = []string{*app}
+	}
+
+	allow := map[string]bool{}
+	if *allowFile != "" {
+		data, err := os.ReadFile(*allowFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bastion-audit: %v\n", err)
+			os.Exit(2)
+		}
+		allow = audit.ParseAllowlist(data)
+	}
+
+	failed := false
+	for _, name := range apps {
+		art, err := core.Compile(builders[name](), core.CompileOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bastion-audit: compile %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep := audit.Run(name, art.Prog, art.Meta)
+		fmt.Fprintf(os.Stdout, "audit %s: %d finding(s), %d error(s)\n", rep.App, len(rep.Findings), rep.Errors())
+		for _, f := range rep.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+		if *residual {
+			fmt.Print(rep.RenderResidual())
+		}
+		if *strict {
+			if left := rep.Unallowed(allow); len(left) > 0 {
+				fmt.Fprintf(os.Stderr, "bastion-audit: %s: %d finding(s) not in allowlist:\n", name, len(left))
+				for _, f := range left {
+					fmt.Fprintf(os.Stderr, "  %s\n", f.Key())
+				}
+				failed = true
+			}
+		} else if rep.Errors() != 0 {
+			fmt.Fprintf(os.Stderr, "bastion-audit: %s: %d error(s)\n", name, rep.Errors())
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bastionc -app nginx [-meta out.json] [-dump-ir] [-summary]
+//	bastionc -app nginx [-meta out.json] [-dump-ir] [-summary] [-audit]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"bastion/internal/apps/nginx"
 	"bastion/internal/apps/sqlitedb"
 	"bastion/internal/apps/vsftpd"
+	"bastion/internal/audit"
 	"bastion/internal/core"
 	"bastion/internal/ir"
 	"bastion/internal/ir/irtext"
@@ -27,6 +28,7 @@ func main() {
 	dumpIR := flag.Bool("dump-ir", false, "print the instrumented IR listing")
 	irOut := flag.String("o", "", "write the instrumented IR listing (.bir) to this file")
 	summary := flag.Bool("summary", true, "print the call-type summary")
+	doAudit := flag.Bool("audit", false, "audit the generated metadata against the instrumented program; exit 1 on any error-severity finding")
 	flag.Parse()
 
 	var prog *ir.Program
@@ -55,6 +57,10 @@ func main() {
 	fmt.Printf(" instrumentation: %d ctx_write_mem, %d ctx_bind_mem, %d ctx_bind_const (%d total)\n",
 		s.CtxWriteMem, s.CtxBindMem, s.CtxBindConst, s.Total())
 	fmt.Printf(" untraced arguments: %d\n", s.UntracedArgs)
+	fmt.Printf(" indirect refinement: edges %d -> %d, allowed pairs %d -> %d (%d exact, %d escaped sites)\n",
+		s.IndirectEdgesCoarse, s.IndirectEdgesRefined,
+		s.AllowedPairsCoarse, s.AllowedPairsRefined,
+		s.ExactIndirectSites, s.EscapedIndirectSites)
 
 	if *summary {
 		fmt.Print(art.Meta.Summary())
@@ -87,5 +93,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("instrumented listing written to %s\n", *irOut)
+	}
+	if *doAudit {
+		rep := audit.Run(*app, art.Prog, art.Meta)
+		fmt.Print(rep.Render())
+		if n := rep.Errors(); n != 0 {
+			fmt.Fprintf(os.Stderr, "bastionc: audit found %d error(s)\n", n)
+			os.Exit(1)
+		}
 	}
 }

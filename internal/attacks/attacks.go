@@ -39,6 +39,10 @@ type Defense struct {
 	// VerdictCache enables the monitor's verdict cache, which must be
 	// observationally invisible (the differential suite's contract).
 	VerdictCache bool
+	// CoarsePolicies runs the monitor on the pre-refinement
+	// AllowedIndirect sets; the refinement replay suite asserts verdicts
+	// are byte-identical either way.
+	CoarsePolicies bool
 }
 
 // Canonical defenses for the evaluation.
@@ -308,6 +312,7 @@ func Launch(app string, d Defense) (*Env, error) {
 		cfg.Contexts = d.Contexts
 		cfg.Mode = d.Mode
 		cfg.VerdictCache = d.VerdictCache
+		cfg.CoarsePolicies = d.CoarsePolicies
 		prot, err = core.Launch(art, k, cfg, vmOpts...)
 	} else {
 		prot, err = core.LaunchUnprotected(art, k, vmOpts...)

@@ -121,6 +121,9 @@ type RunSpec struct {
 	// VerdictCache enables the monitor's verdict cache (the cache
 	// ablation).
 	VerdictCache bool
+	// CoarsePolicies enforces the pre-refinement AllowedIndirect sets
+	// (the points-to refinement ablation).
+	CoarsePolicies bool
 	// Artifacts selects the shared compilation cache backing the run
 	// (nil = the package-wide cache). Supply a fresh fleet.NewArtifacts()
 	// to measure compilation dedup in isolation.
@@ -183,6 +186,7 @@ func Run(spec RunSpec) (*RunResult, error) {
 		cfg.InKernel = spec.InKernel
 		cfg.TreeFilter = spec.TreeFilter
 		cfg.VerdictCache = spec.VerdictCache
+		cfg.CoarsePolicies = spec.CoarsePolicies
 		cfg, err = arts.Config(spec.App, cfg)
 		if err != nil {
 			return nil, err

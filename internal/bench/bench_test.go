@@ -328,6 +328,37 @@ func TestCacheAblation(t *testing.T) {
 	}
 }
 
+// TestRefineAblation is the acceptance bar for the points-to refinement
+// ablation: the refined policies never grow the static surface, the
+// refinement never changes benign-workload behaviour (zero violations,
+// identical cache-key population on both sides), and the stats line up.
+func TestRefineAblation(t *testing.T) {
+	for _, app := range Apps {
+		res, err := RefineAblation(app, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CoarseViolations != 0 || res.RefinedViolations != 0 {
+			t.Errorf("%s: benign workload flagged: coarse=%d refined=%d",
+				app, res.CoarseViolations, res.RefinedViolations)
+		}
+		if res.EdgesRefined > res.EdgesCoarse {
+			t.Errorf("%s: refinement grew indirect edges %d -> %d",
+				app, res.EdgesCoarse, res.EdgesRefined)
+		}
+		if res.PairsRefined > res.PairsCoarse {
+			t.Errorf("%s: refinement grew allowed pairs %d -> %d",
+				app, res.PairsCoarse, res.PairsRefined)
+		}
+		if res.ExactSites < 0 || res.EscapedSites < 0 {
+			t.Errorf("%s: negative site stats: %+v", app, res)
+		}
+		t.Logf("%s: edges %d->%d, pairs %d->%d, exact %d, escaped %d, mon cyc/unit %.1f vs %.1f",
+			app, res.EdgesCoarse, res.EdgesRefined, res.PairsCoarse, res.PairsRefined,
+			res.ExactSites, res.EscapedSites, res.CoarseMonPerUnit, res.RefinedMonPerUnit)
+	}
+}
+
 func TestFilterAblationTreeStrictlyCheaper(t *testing.T) {
 	for _, app := range Apps {
 		res, err := FilterAblation(app, 10)

@@ -605,6 +605,92 @@ func RenderCacheAblation(rows []*CacheAblationResult) string {
 	return b.String()
 }
 
+// RefineAblationResult compares monitor behaviour under the coarse
+// address-taken AllowedIndirect sets against the points-to–refined sets
+// for one application, alongside the static policy-size deltas.
+type RefineAblationResult struct {
+	App string
+	// CoarseOverhead / RefinedOverhead are percent vs vanilla under full
+	// protection with the fs extension and the verdict cache on.
+	CoarseOverhead  float64
+	RefinedOverhead float64
+	// Monitor cycles per work unit — the CF walk terminates at the
+	// indirect-callsite policy lookup, so any set-size effect lands here.
+	CoarseMonPerUnit  float64
+	RefinedMonPerUnit float64
+	// Cache-key population: inserts measure how many distinct verdict keys
+	// the policy precision induces on the benign workload.
+	CoarseCacheInserts  uint64
+	RefinedCacheInserts uint64
+	// Static policy sizes from the compiler's refinement statistics.
+	EdgesCoarse  int // Σ per-site candidate targets, address-taken
+	EdgesRefined int // Σ per-site candidate targets, points-to–refined
+	PairsCoarse  int // Σ per-syscall allowed callsite addresses, coarse
+	PairsRefined int // Σ per-syscall allowed callsite addresses, refined
+	ExactSites   int // indirect callsites pinned by the points-to pass
+	EscapedSites int // indirect callsites falling back to address-taken
+	// Both must be zero on the benign workload; the attack replay suite
+	// proves verdict equivalence in general.
+	CoarseViolations  int
+	RefinedViolations int
+}
+
+// RefineAblation measures the points-to refinement ablation for one
+// application: identical full-protection runs, one enforcing the coarse
+// pre-refinement AllowedIndirect sets and one the refined sets.
+func RefineAblation(app string, units int) (*RefineAblationResult, error) {
+	base, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	spec := RunSpec{App: app, Mitigation: MitFull, Units: units, ExtendFS: true, VerdictCache: true}
+	spec.CoarsePolicies = true
+	coarse, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.CoarsePolicies = false
+	refined, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	st := refined.Stats.Stats
+	return &RefineAblationResult{
+		App:                 app,
+		CoarseOverhead:      Overhead(base, coarse),
+		RefinedOverhead:     Overhead(base, refined),
+		CoarseMonPerUnit:    coarse.Workload.PerUnitMonitor(),
+		RefinedMonPerUnit:   refined.Workload.PerUnitMonitor(),
+		CoarseCacheInserts:  coarse.Protected.Monitor.CacheInserts,
+		RefinedCacheInserts: refined.Protected.Monitor.CacheInserts,
+		EdgesCoarse:         st.IndirectEdgesCoarse,
+		EdgesRefined:        st.IndirectEdgesRefined,
+		PairsCoarse:         st.AllowedPairsCoarse,
+		PairsRefined:        st.AllowedPairsRefined,
+		ExactSites:          st.ExactIndirectSites,
+		EscapedSites:        st.EscapedIndirectSites,
+		CoarseViolations:    len(coarse.Protected.Monitor.Violations),
+		RefinedViolations:   len(refined.Protected.Monitor.Violations),
+	}, nil
+}
+
+// RenderRefineAblation formats the refinement ablation rows.
+func RenderRefineAblation(rows []*RefineAblationResult) string {
+	var b strings.Builder
+	b.WriteString("Points-to refinement ablation: full protection, fs extension, verdict cache\n")
+	fmt.Fprintf(&b, "%-8s %11s %12s %16s %16s %13s %13s %6s %7s\n", "app",
+		"edges c->r", "pairs c->r", "coarse cyc/unit", "refined cyc/unit",
+		"coarse ovh %", "refined ovh %", "exact", "escaped")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %5d->%-5d %5d->%-5d %16.0f %16.0f %13.2f %13.2f %6d %7d\n", r.App,
+			r.EdgesCoarse, r.EdgesRefined, r.PairsCoarse, r.PairsRefined,
+			r.CoarseMonPerUnit, r.RefinedMonPerUnit,
+			r.CoarseOverhead, r.RefinedOverhead,
+			r.ExactSites, r.EscapedSites)
+	}
+	return b.String()
+}
+
 // InKernelResult compares the ptrace monitor against the §11.2 in-kernel
 // design under the file-system extension, where state fetching dominates.
 type InKernelResult struct {

@@ -24,6 +24,7 @@ type Report struct {
 	InK     []*InKernelResult
 	Filter  []*FilterAblationResult
 	Cache   []*CacheAblationResult
+	Refine  []*RefineAblationResult
 	Fleet   *FleetScalingResult
 	// Timings records each experiment's wall-clock duration, in the fixed
 	// experiment order. It is rendered by TimingSummary, never by Markdown,
@@ -60,6 +61,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 		InK:    make([]*InKernelResult, len(Apps)),
 		Filter: make([]*FilterAblationResult, len(Apps)),
 		Cache:  make([]*CacheAblationResult, len(Apps)),
+		Refine: make([]*RefineAblationResult, len(Apps)),
 	}
 	type task struct {
 		name string
@@ -82,6 +84,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 			task{"in-kernel " + app, func() (err error) { r.InK[i], err = InKernelAblation(app, units); return }},
 			task{"filter ablation " + app, func() (err error) { r.Filter[i], err = FilterAblation(app, units); return }},
 			task{"cache ablation " + app, func() (err error) { r.Cache[i], err = CacheAblation(app, units); return }},
+			task{"refine ablation " + app, func() (err error) { r.Refine[i], err = RefineAblation(app, units); return }},
 		)
 	}
 	r.Timings = make([]ExperimentTiming, len(tasks))
@@ -238,6 +241,17 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.1f%% | %.2f%% | %.2f%% |\n", cr.App,
 			cr.OffMonPerUnit, cr.OnMonPerUnit, cr.HitRate()*100,
 			cr.OffOverhead, cr.OnOverhead)
+	}
+
+	b.WriteString("\n## Points-to refinement ablation — coarse vs refined indirect-call policies\n\n")
+	b.WriteString("Static policy sizes (indirect-call edges and per-syscall allowed callsite pairs) before and after the points-to refinement, and the runtime cost of enforcing each under full protection with the fs extension and verdict cache. Verdicts are asserted identical by the attack replay suite; only policy size and lookup cost may differ.\n\n")
+	b.WriteString("| app | edges coarse→refined | pairs coarse→refined | exact sites | escaped sites | coarse mon cyc/unit | refined mon cyc/unit | coarse overhead | refined overhead |\n|---|---|---|---|---|---|---|---|---|\n")
+	for _, rr := range r.Refine {
+		fmt.Fprintf(&b, "| %s | %d→%d | %d→%d | %d | %d | %.0f | %.0f | %.2f%% | %.2f%% |\n", rr.App,
+			rr.EdgesCoarse, rr.EdgesRefined, rr.PairsCoarse, rr.PairsRefined,
+			rr.ExactSites, rr.EscapedSites,
+			rr.CoarseMonPerUnit, rr.RefinedMonPerUnit,
+			rr.CoarseOverhead, rr.RefinedOverhead)
 	}
 
 	b.WriteString("\n## Fleet scaling — shared vs per-tenant compilation\n\n")

@@ -47,6 +47,17 @@ type Stats struct {
 	CtxBindMem         int
 	CtxBindConst       int
 	UntracedArgs       int // arguments the use-def trace could not resolve
+
+	// Points-to refinement statistics: callsite→target edges and
+	// (syscall, callsite) policy pairs, before and after refinement.
+	IndirectEdgesCoarse  int // Σ address-taken, signature-matched targets
+	IndirectEdgesRefined int // Σ points-to targets (always ≤ coarse)
+	IndirectEdgesRemoved int
+	AllowedPairsCoarse   int // coarse (syscall, callsite) AllowedIndirect pairs
+	AllowedPairsRefined  int
+	AllowedPairsRemoved  int
+	ExactIndirectSites   int // callsites whose target set resolved exactly
+	EscapedIndirectSites int // callsites that fell back to address-taken
 }
 
 // Total returns the total instrumentation site count (Table 5 last row).
@@ -89,6 +100,11 @@ type pass struct {
 	// original index); addresses are resolved after relinking.
 	argSites map[siteKey]*argSiteDraft
 
+	// untraced records arguments the use-def trace gave up on, keyed by
+	// (function, original callsite index, position) so repeat visits do
+	// not duplicate the metadata record.
+	untraced map[untracedKey]untracedDraft
+
 	// planned dedupes instrumentation decisions; planSeq orders them.
 	planned map[string]bool
 	planSeq int
@@ -113,6 +129,28 @@ type argSiteDraft struct {
 	args      []metadata.ArgSpec
 }
 
+type untracedKey struct {
+	fn  string
+	idx int // original instruction index of the callsite
+	pos int // 1-based argument position
+}
+
+type untracedDraft struct {
+	target string
+	reason string
+}
+
+// recordUntraced notes one unresolvable argument for the audit. The stats
+// counter is incremented by the callers (once per trace attempt, matching
+// the Table 5 semantics); the metadata record is deduplicated.
+func (p *pass) recordUntraced(fn string, idx, pos int, target, reason string) {
+	key := untracedKey{fn: fn, idx: idx, pos: pos}
+	if _, ok := p.untraced[key]; ok {
+		return
+	}
+	p.untraced[key] = untracedDraft{target: target, reason: reason}
+}
+
 // Run executes the full pass on prog, which must validate but need not be
 // linked. The program is mutated in place (instrumented and linked).
 func Run(prog *ir.Program, opts Options) (*Result, error) {
@@ -130,6 +168,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		sensParams:    map[paramKey]bool{},
 		derefWriteFns: map[paramKey]bool{},
 		argSites:      map[siteKey]*argSiteDraft{},
+		untraced:      map[untracedKey]untracedDraft{},
 	}
 	for _, nr := range opts.Sensitive {
 		p.sensitive[uint32(nr)] = true
@@ -259,6 +298,28 @@ func (p *pass) buildMetadata() (*metadata.Metadata, error) {
 		sort.Slice(site.Args, func(i, j int) bool { return site.Args[i].Pos < site.Args[j].Pos })
 		meta.ArgSites[site.Addr] = site
 	}
+
+	// Materialize the untraced-argument records with final addresses.
+	for key, draft := range p.untraced {
+		f := p.prog.Func(key.fn)
+		if f == nil {
+			return nil, fmt.Errorf("analysis: lost function %q", key.fn)
+		}
+		meta.Untraced = append(meta.Untraced, metadata.UntracedArg{
+			Addr:   f.InstrAddr(p.remappedIndex(key.fn, key.idx)),
+			Caller: key.fn,
+			Target: draft.target,
+			Pos:    key.pos,
+			Reason: draft.reason,
+		})
+	}
+	sort.Slice(meta.Untraced, func(i, j int) bool {
+		a, b := meta.Untraced[i], meta.Untraced[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Pos < b.Pos
+	})
 	return meta, nil
 }
 
@@ -328,35 +389,79 @@ func (p *pass) buildCFG(meta *metadata.Metadata) {
 	}
 
 	// AllowedIndirect: an indirect callsite may start a path to syscall nr
-	// iff an address-taken function with the callsite's signature reaches
-	// nr (the statically expected partial traces of §7.3).
-	sigOf := map[string]string{}
-	for _, f := range p.prog.Funcs {
-		sigOf[f.Name] = f.TypeSig
-	}
-	for _, f := range p.prog.Funcs {
-		for i := range f.Code {
-			in := &f.Code[i]
-			if in.Kind != ir.CallInd {
-				continue
-			}
-			addr := f.InstrAddr(i)
-			for nr, set := range reaches {
-				for target := range meta.IndirectTargets {
-					if !set[target] {
-						continue
-					}
-					if in.TypeSig != "" && sigOf[target] != in.TypeSig {
-						continue
-					}
-					if meta.AllowedIndirect[nr] == nil {
-						meta.AllowedIndirect[nr] = map[uint64]bool{}
-					}
-					meta.AllowedIndirect[nr][addr] = true
+	// iff a function in its target set reaches nr (the statically expected
+	// partial traces of §7.3). The coarse baseline admits every
+	// address-taken function with the callsite's signature; the refined
+	// policy uses the points-to target sets, which shrink that to the
+	// functions whose address actually flows into the callsite.
+	pt := p.runPointsTo()
+	meta.AllowedIndirectCoarse = metadata.NrAddrSets{}
+	meta.IndirectSites = map[uint64]metadata.IndirectSite{}
+	for _, s := range pt.sites {
+		f := p.prog.Func(s.fn)
+		addr := f.InstrAddr(s.idx)
+		meta.IndirectSites[addr] = metadata.IndirectSite{
+			Addr:    addr,
+			Caller:  s.fn,
+			TypeSig: s.sig,
+			Targets: sortedNames(s.refined),
+			Coarse:  sortedNames(s.coarse),
+			Exact:   s.exact,
+		}
+		p.stats.IndirectEdgesCoarse += len(s.coarse)
+		p.stats.IndirectEdgesRefined += len(s.refined)
+		if s.exact {
+			p.stats.ExactIndirectSites++
+		} else {
+			p.stats.EscapedIndirectSites++
+		}
+		for nr, set := range reaches {
+			if reachesAny(set, s.coarse) {
+				if meta.AllowedIndirectCoarse[nr] == nil {
+					meta.AllowedIndirectCoarse[nr] = metadata.AddrSet{}
 				}
+				meta.AllowedIndirectCoarse[nr][addr] = true
+			}
+			if reachesAny(set, s.refined) {
+				if meta.AllowedIndirect[nr] == nil {
+					meta.AllowedIndirect[nr] = metadata.AddrSet{}
+				}
+				meta.AllowedIndirect[nr][addr] = true
 			}
 		}
 	}
+	// A syscall constrained under the coarse policy stays constrained when
+	// refinement empties its callsite set: a present-but-empty entry
+	// rejects every indirect path, an absent one would unconstrain it.
+	for nr, coarse := range meta.AllowedIndirectCoarse {
+		if meta.AllowedIndirect[nr] == nil {
+			meta.AllowedIndirect[nr] = metadata.AddrSet{}
+		}
+		p.stats.AllowedPairsCoarse += len(coarse)
+		p.stats.AllowedPairsRefined += len(meta.AllowedIndirect[nr])
+	}
+	p.stats.IndirectEdgesRemoved = p.stats.IndirectEdgesCoarse - p.stats.IndirectEdgesRefined
+	p.stats.AllowedPairsRemoved = p.stats.AllowedPairsCoarse - p.stats.AllowedPairsRefined
+}
+
+// reachesAny reports whether any function in targets is in the
+// reachability set.
+func reachesAny(set map[string]bool, targets map[string]bool) bool {
+	for t := range targets {
+		if set[t] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func sysName(nr uint32) string {

@@ -74,6 +74,7 @@ func (p *pass) traceCallsite(f *ir.Function, i int, nr uint32, isSyscall bool, o
 			p.markVarSensitive(src.addr, src.size, depth)
 		default:
 			p.stats.UntracedArgs++
+			p.recordUntraced(f.Name, i, pos, draft.target, metadata.UntracedValueOrigin)
 		}
 	}
 }
@@ -339,6 +340,7 @@ func (p *pass) bindMem(f *ir.Function, site, pos int, expr addrExpr, size int64,
 	seq, reg, ok := p.emitAddr(f, expr)
 	if !ok {
 		p.stats.UntracedArgs++
+		p.recordUntraced(f.Name, site, pos, draft.target, metadata.UntracedAddress)
 		return
 	}
 	spec := argSpec(pos, false, 0, size)

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"testing"
+
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/apps/nginx"
+	"bastion/internal/apps/sqlitedb"
+	"bastion/internal/apps/vsftpd"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+)
+
+// buildDispatch builds the canonical shrinkage shape: two address-taken
+// hooks of identical signature stored into distinct global slots, each
+// invoked through its own indirect callsite. The coarse policy admits both
+// hooks at both sites; points-to pins each site to the hook actually
+// stored in its slot.
+//
+//	do_exec() { execve(...) }          // sensitive hook
+//	do_log()  { write(...) }           // benign hook
+//	run_exec() { (*exec_slot)() }
+//	run_log()  { (*log_slot)() }
+//	main { exec_slot = &do_exec; log_slot = &do_log; run_exec(); run_log() }
+func buildDispatch() *ir.Program {
+	p := guestlibc.NewProgram()
+	p.AddGlobal(&ir.Global{Name: "exec_slot", Size: 8})
+	p.AddGlobal(&ir.Global{Name: "log_slot", Size: 8})
+
+	de := ir.NewBuilder("do_exec", 0)
+	de.Call("execve", ir.Imm(0x5000), ir.Imm(0), ir.Imm(0))
+	de.Ret(ir.Imm(0))
+	p.AddFunc(de.Build())
+
+	dl := ir.NewBuilder("do_log", 0)
+	dl.Call("write", ir.Imm(1), ir.Imm(0x6000), ir.Imm(16))
+	dl.Ret(ir.Imm(0))
+	p.AddFunc(dl.Build())
+
+	re := ir.NewBuilder("run_exec", 0)
+	fp := re.Load(re.GlobalLea("exec_slot", 0), 0, 8)
+	re.CallInd(fp, "i64()")
+	re.Ret(ir.Imm(0))
+	p.AddFunc(re.Build())
+
+	rl := ir.NewBuilder("run_log", 0)
+	fp = rl.Load(rl.GlobalLea("log_slot", 0), 0, 8)
+	rl.CallInd(fp, "i64()")
+	rl.Ret(ir.Imm(0))
+	p.AddFunc(rl.Build())
+
+	m := ir.NewBuilder("main", 0)
+	m.Store(m.GlobalLea("exec_slot", 0), 0, ir.R(m.FuncAddr("do_exec")), 8)
+	m.Store(m.GlobalLea("log_slot", 0), 0, ir.R(m.FuncAddr("do_log")), 8)
+	m.Call("run_exec")
+	m.Call("run_log")
+	m.Ret(ir.Imm(0))
+	p.AddFunc(m.Build())
+	return p
+}
+
+func siteIn(t *testing.T, res *Result, caller string) uint64 {
+	t.Helper()
+	for addr, s := range res.Meta.IndirectSites {
+		if s.Caller == caller {
+			return addr
+		}
+	}
+	t.Fatalf("no indirect site in %s", caller)
+	return 0
+}
+
+func TestPointsToPinsDispatchSites(t *testing.T) {
+	res := runPass(t, buildDispatch())
+	meta := res.Meta
+
+	execSite := siteIn(t, res, "run_exec")
+	logSite := siteIn(t, res, "run_log")
+
+	es := meta.IndirectSites[execSite]
+	if !es.Exact || len(es.Targets) != 1 || es.Targets[0] != "do_exec" {
+		t.Fatalf("run_exec site = %+v, want exact {do_exec}", es)
+	}
+	ls := meta.IndirectSites[logSite]
+	if !ls.Exact || len(ls.Targets) != 1 || ls.Targets[0] != "do_log" {
+		t.Fatalf("run_log site = %+v, want exact {do_log}", ls)
+	}
+	if len(es.Coarse) != 2 || len(ls.Coarse) != 2 {
+		t.Fatalf("coarse sets = %v / %v, want both hooks at both sites", es.Coarse, ls.Coarse)
+	}
+
+	// The refined execve policy admits only the exec dispatch site; the
+	// coarse policy admitted both.
+	coarse := meta.AllowedIndirectCoarse[kernel.SysExecve]
+	refined := meta.AllowedIndirect[kernel.SysExecve]
+	if !coarse[execSite] || !coarse[logSite] {
+		t.Fatalf("coarse execve policy = %v, want both sites", coarse)
+	}
+	if !refined[execSite] || refined[logSite] {
+		t.Fatalf("refined execve policy = %v, want exec site only", refined)
+	}
+
+	if res.Stats.IndirectEdgesRemoved != 2 {
+		t.Errorf("IndirectEdgesRemoved = %d, want 2 (one impossible hook per site)", res.Stats.IndirectEdgesRemoved)
+	}
+	if res.Stats.AllowedPairsRemoved != 1 {
+		t.Errorf("AllowedPairsRemoved = %d, want 1 (execve via run_log)", res.Stats.AllowedPairsRemoved)
+	}
+	if res.Stats.ExactIndirectSites != 2 || res.Stats.EscapedIndirectSites != 0 {
+		t.Errorf("site stats = %d exact / %d escaped, want 2/0",
+			res.Stats.ExactIndirectSites, res.Stats.EscapedIndirectSites)
+	}
+}
+
+// TestPointsToEscapeFallsBack seeds a store of a function address through a
+// pointer the cell language cannot resolve: every tracked fact is then
+// untrusted and the sites must fall back to the coarse address-taken sets.
+func TestPointsToEscapeFallsBack(t *testing.T) {
+	p := buildDispatch()
+	p.AddGlobal(&ir.Global{Name: "escape_ptr", Size: 8})
+	leak := ir.NewBuilder("leak", 0)
+	dst := leak.Load(leak.GlobalLea("escape_ptr", 0), 0, 8)
+	dst2 := leak.Load(dst, 0, 8) // second indirection: outside the cell language
+	leak.Store(dst2, 0, ir.R(leak.FuncAddr("do_exec")), 8)
+	leak.Ret(ir.Imm(0))
+	p.AddFunc(leak.Build())
+
+	res := runPass(t, p)
+	meta := res.Meta
+	for addr, s := range meta.IndirectSites {
+		if s.Exact {
+			t.Errorf("site %#x in %s still exact after escape", addr, s.Caller)
+		}
+		if len(s.Targets) != len(s.Coarse) {
+			t.Errorf("site %#x refined %v != coarse %v after escape", addr, s.Targets, s.Coarse)
+		}
+	}
+	// Both dispatch sites are back in the execve policy.
+	execSite := siteIn(t, res, "run_exec")
+	logSite := siteIn(t, res, "run_log")
+	refined := meta.AllowedIndirect[kernel.SysExecve]
+	if !refined[execSite] || !refined[logSite] {
+		t.Fatalf("refined execve policy after escape = %v, want coarse fallback with both sites", refined)
+	}
+}
+
+// TestPointsToNarrowStoreDoesNotEscape: stores too narrow to carry a code
+// address must not poison the analysis even when their target address is
+// unresolvable.
+func TestPointsToNarrowStoreDoesNotEscape(t *testing.T) {
+	p := buildDispatch()
+	p.AddGlobal(&ir.Global{Name: "byte_ptr", Size: 8})
+	w := ir.NewBuilder("write_flag", 0)
+	dst := w.Load(w.GlobalLea("byte_ptr", 0), 0, 8)
+	dst2 := w.Load(dst, 0, 8)
+	w.Store(dst2, 0, ir.Imm(1), 1)
+	w.Ret(ir.Imm(0))
+	p.AddFunc(w.Build())
+
+	res := runPass(t, p)
+	if s := res.Meta.IndirectSites[siteIn(t, res, "run_exec")]; !s.Exact {
+		t.Fatalf("narrow escaped store poisoned the analysis: %+v", s)
+	}
+}
+
+// TestPointsToParamPropagation: a function address passed as a call
+// argument flows into the callee's parameter cell and onward into the
+// cells it stores to — but parameter slots are runtime inputs, so any
+// policy derived through one is a sound fallback, never exact.
+func TestPointsToParamPropagation(t *testing.T) {
+	p := guestlibc.NewProgram()
+	p.AddGlobal(&ir.Global{Name: "hook", Size: 8})
+
+	de := ir.NewBuilder("do_exec", 0)
+	de.Call("execve", ir.Imm(0x5000), ir.Imm(0), ir.Imm(0))
+	de.Ret(ir.Imm(0))
+	p.AddFunc(de.Build())
+
+	reg := ir.NewBuilder("register_hook", 1)
+	v := reg.LoadLocal("p0")
+	reg.Store(reg.GlobalLea("hook", 0), 0, ir.R(v), 8)
+	reg.Ret(ir.Imm(0))
+	p.AddFunc(reg.Build())
+
+	run := ir.NewBuilder("run_hook", 0)
+	fp := run.Load(run.GlobalLea("hook", 0), 0, 8)
+	run.CallInd(fp, "i64()")
+	run.Ret(ir.Imm(0))
+	p.AddFunc(run.Build())
+
+	m := ir.NewBuilder("main", 0)
+	m.Call("register_hook", ir.R(m.FuncAddr("do_exec")))
+	m.Call("run_hook")
+	m.Ret(ir.Imm(0))
+	p.AddFunc(m.Build())
+
+	res := runPass(t, p)
+	s := res.Meta.IndirectSites[siteIn(t, res, "run_hook")]
+	if s.Exact {
+		t.Fatalf("parameter-derived policy must not be exact: %+v", s)
+	}
+	found := false
+	for _, tgt := range s.Targets {
+		if tgt == "do_exec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("do_exec did not propagate through the call parameter: %v", s.Targets)
+	}
+	if !res.Meta.AllowedIndirect[kernel.SysExecve][s.Addr] {
+		t.Fatal("run_hook site missing from the refined execve policy")
+	}
+}
+
+// TestRefinementNeverGrowsOnApps is the acceptance property on the shipped
+// guests: per syscall, the refined AllowedIndirect set is a subset of the
+// coarse one with the same constrained-syscall keys, and per callsite the
+// refined target set is a subset of the coarse set.
+func TestRefinementNeverGrowsOnApps(t *testing.T) {
+	progs := map[string]*ir.Program{
+		"nginx":  nginx.Build(),
+		"sqlite": sqlitedb.Build(),
+		"vsftpd": vsftpd.Build(),
+	}
+	for name, prog := range progs {
+		res := runPass(t, prog)
+		meta := res.Meta
+		for nr, refined := range meta.AllowedIndirect {
+			coarse, ok := meta.AllowedIndirectCoarse[nr]
+			if !ok {
+				t.Errorf("%s: refined policy for nr %d has no coarse baseline", name, nr)
+				continue
+			}
+			for addr := range refined {
+				if !coarse[addr] {
+					t.Errorf("%s: nr %d callsite %#x admitted by refined but not coarse", name, nr, addr)
+				}
+			}
+		}
+		for nr := range meta.AllowedIndirectCoarse {
+			if meta.AllowedIndirect[nr] == nil {
+				t.Errorf("%s: nr %d constrained coarsely but unconstrained refined", name, nr)
+			}
+		}
+		for addr, s := range meta.IndirectSites {
+			coarse := map[string]bool{}
+			for _, c := range s.Coarse {
+				coarse[c] = true
+			}
+			for _, tgt := range s.Targets {
+				if !coarse[tgt] {
+					t.Errorf("%s: site %#x target %s beyond the coarse set", name, addr, tgt)
+				}
+			}
+		}
+		if res.Stats.IndirectEdgesRefined > res.Stats.IndirectEdgesCoarse ||
+			res.Stats.AllowedPairsRefined > res.Stats.AllowedPairsCoarse {
+			t.Errorf("%s: refinement grew: %+v", name, res.Stats)
+		}
+	}
+}

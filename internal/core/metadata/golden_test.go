@@ -1,0 +1,127 @@
+package metadata
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenMeta builds a fixed metadata value whose map population order is
+// deliberately scrambled: serialization must nevertheless be byte-stable
+// and sorted (numeric order for syscall numbers and addresses — "9"
+// before "10", which lexicographic map-key sorting gets wrong).
+func goldenMeta() *Metadata {
+	m := New()
+	m.Entry = "main"
+	m.CallTypes[59] = CallType{Nr: 59, Name: "execve", Direct: true, Indirect: true}
+	m.CallTypes[2] = CallType{Nr: 2, Name: "open", Direct: true}
+	m.Funcs["main"] = FuncInfo{Name: "main", Entry: 0x400000, End: 0x400040}
+	m.Funcs["dispatch"] = FuncInfo{Name: "dispatch", Entry: 0x400040, End: 0x400080}
+	m.ValidCallers["execve"] = NameSet{"zz_last": true, "dispatch": true, "aa_first": true}
+	m.IndirectTargets = NameSet{"do_exec": true, "do_log": true}
+	// Keys 2, 9, 10, 59 in scrambled insertion order; addresses likewise.
+	m.AllowedIndirect = NrAddrSets{
+		59: AddrSet{0x400050: true, 0x400044: true},
+		10: AddrSet{},
+		2:  AddrSet{0x400044: true},
+		9:  AddrSet{0x400048: true},
+	}
+	m.AllowedIndirectCoarse = NrAddrSets{
+		59: AddrSet{0x400050: true, 0x400044: true, 0x400060: true},
+		10: AddrSet{0x400060: true},
+		2:  AddrSet{0x400044: true},
+		9:  AddrSet{0x400048: true, 0x400060: true},
+	}
+	m.IndirectSites = map[uint64]IndirectSite{
+		0x400044: {Addr: 0x400044, Caller: "dispatch", TypeSig: "fn(i64)",
+			Targets: []string{"do_exec"}, Coarse: []string{"do_exec", "do_log"}, Exact: true},
+	}
+	m.Untraced = []UntracedArg{
+		{Addr: 0x400020, Caller: "main", Target: "open", Pos: 1, Reason: UntracedValueOrigin},
+	}
+	m.ArgSites[0x400020] = ArgSite{Addr: 0x400020, Caller: "main", Target: "open",
+		SyscallNr: 2, IsSyscall: true,
+		Args: []ArgSpec{{Pos: 1, Kind: ArgConst, Const: 7}}}
+	return m
+}
+
+// TestMarshalGolden locks the serialized form byte-for-byte: sorted set
+// arrays, numerically ordered syscall keys, and stability across repeated
+// marshals and a full unmarshal/marshal round trip.
+func TestMarshalGolden(t *testing.T) {
+	m := goldenMeta()
+	got, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatal("two marshals of the same metadata differ")
+	}
+
+	rt, err := Unmarshal(got)
+	if err != nil {
+		t.Fatalf("round trip unmarshal: %v", err)
+	}
+	rtBytes, err := rt.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rtBytes) {
+		t.Fatal("unmarshal/marshal round trip changed the bytes")
+	}
+
+	golden := filepath.Join("testdata", "golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate by updating the file to the current output): %v", golden, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("serialized metadata diverged from %s\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestMarshalOrdering spells out the two ordering properties the golden
+// file encodes, so a regeneration can't silently lose them.
+func TestMarshalOrdering(t *testing.T) {
+	got, err := goldenMeta().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	// Syscall keys in numeric order: 2 < 9 < 10 < 59 ("10" would sort
+	// before "9" lexicographically).
+	section := s[strings.Index(s, `"allowed_indirect"`):]
+	section = section[:strings.Index(section, `"allowed_indirect_coarse"`)]
+	last := -1
+	for _, key := range []string{`"2"`, `"9"`, `"10"`, `"59"`} {
+		i := strings.Index(section, key)
+		if i < 0 {
+			t.Fatalf("allowed_indirect is missing key %s", key)
+		}
+		if i < last {
+			t.Errorf("allowed_indirect key %s out of numeric order", key)
+		}
+		last = i
+	}
+	// Set arrays sorted ascending.
+	if a, b := strings.Index(s, `"aa_first"`), strings.Index(s, `"zz_last"`); a < 0 || b < 0 || a > b {
+		t.Error("valid_callers name set is not sorted")
+	}
+	if a, b := strings.Index(s, "4194372"), strings.Index(s, "4194384"); a < 0 || b < 0 || a > b {
+		t.Error("allowed_indirect address set is not sorted ascending")
+	}
+}

@@ -8,10 +8,109 @@
 package metadata
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 )
+
+// AddrSet is a set of code addresses. It serializes as a sorted JSON array
+// so artifacts are byte-stable across runs: Go's default map encoding
+// orders integer keys lexicographically by their decimal strings, which is
+// deterministic but surprising ("10" before "9") and couples the artifact
+// bytes to an encoding quirk rather than to the data.
+type AddrSet map[uint64]bool
+
+// MarshalJSON emits the set as a numerically sorted array.
+func (s AddrSet) MarshalJSON() ([]byte, error) {
+	addrs := make([]uint64, 0, len(s))
+	for a := range s {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return json.Marshal(addrs)
+}
+
+// UnmarshalJSON parses the sorted-array form.
+func (s *AddrSet) UnmarshalJSON(data []byte) error {
+	var addrs []uint64
+	if err := json.Unmarshal(data, &addrs); err != nil {
+		return err
+	}
+	*s = make(AddrSet, len(addrs))
+	for _, a := range addrs {
+		(*s)[a] = true
+	}
+	return nil
+}
+
+// NameSet is a set of function names, serialized as a sorted JSON array
+// (see AddrSet for why the set form is not serialized as an object).
+type NameSet map[string]bool
+
+// MarshalJSON emits the set as a sorted array.
+func (s NameSet) MarshalJSON() ([]byte, error) {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return json.Marshal(names)
+}
+
+// UnmarshalJSON parses the sorted-array form.
+func (s *NameSet) UnmarshalJSON(data []byte) error {
+	var names []string
+	if err := json.Unmarshal(data, &names); err != nil {
+		return err
+	}
+	*s = make(NameSet, len(names))
+	for _, n := range names {
+		(*s)[n] = true
+	}
+	return nil
+}
+
+// NrAddrSets maps syscall numbers to address sets. It serializes as an
+// object whose keys appear in numeric order (standard library map encoding
+// would order them lexicographically).
+type NrAddrSets map[uint32]AddrSet
+
+// MarshalJSON emits the map with numerically sorted keys.
+func (m NrAddrSets) MarshalJSON() ([]byte, error) {
+	nrs := make([]uint32, 0, len(m))
+	for nr := range m {
+		nrs = append(nrs, nr)
+	}
+	sort.Slice(nrs, func(i, j int) bool { return nrs[i] < nrs[j] })
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, nr := range nrs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(strconv.Quote(strconv.FormatUint(uint64(nr), 10)))
+		buf.WriteByte(':')
+		inner, err := m[nr].MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(inner)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON parses the object form.
+func (m *NrAddrSets) UnmarshalJSON(data []byte) error {
+	raw := map[uint32]AddrSet{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*m = raw
+	return nil
+}
 
 // CallType records how one system call may legitimately be invoked
 // (§3.1): directly, indirectly, both, or not at all.
@@ -91,6 +190,44 @@ type ArgSpec struct {
 	Deref bool `json:"deref,omitempty"`
 }
 
+// IndirectSite is the per-indirect-callsite control-flow policy: the
+// refined (points-to) target set next to the coarse address-taken
+// baseline, so auditors and the residual-surface report can quantify what
+// refinement removed.
+type IndirectSite struct {
+	Addr    uint64 `json:"addr"`
+	Caller  string `json:"caller"`
+	TypeSig string `json:"typesig,omitempty"`
+	// Targets is the refined target set (sorted; always ⊆ Coarse).
+	Targets []string `json:"targets"`
+	// Coarse is the address-taken, signature-matched baseline (sorted).
+	Coarse []string `json:"coarse"`
+	// Exact reports the target register resolved through tracked memory
+	// cells only; false means the policy fell back to the coarse set.
+	Exact bool `json:"exact"`
+}
+
+// UntracedArg records one callsite argument the use-def trace could not
+// resolve, with a machine-readable reason code (enumerated by the audit).
+type UntracedArg struct {
+	Addr   uint64 `json:"addr"`
+	Caller string `json:"caller"`
+	Target string `json:"target,omitempty"`
+	Pos    int    `json:"pos"` // 1-based argument position
+	Reason string `json:"reason"`
+}
+
+// Untraced-argument reason codes.
+const (
+	// UntracedValueOrigin: the backward value trace ended at an
+	// instruction it cannot model (e.g. an unresolvable load or a call
+	// result).
+	UntracedValueOrigin = "value-origin-unknown"
+	// UntracedAddress: the value's location was traced but its address
+	// cannot be rematerialized at the callsite for binding.
+	UntracedAddress = "address-not-materializable"
+)
+
 // ArgSite is the argument-integrity record of one callsite: a sensitive
 // system call callsite, or an intermediate callsite passing sensitive
 // variables (e.g. bar() in Figure 2 of the paper).
@@ -119,18 +256,30 @@ type Metadata struct {
 	// ValidCallers maps a callee function to the set of functions allowed
 	// to call it directly — recorded only for functions on control-flow
 	// paths that reach sensitive system calls (§6.2).
-	ValidCallers map[string]map[string]bool `json:"valid_callers"`
+	ValidCallers map[string]NameSet `json:"valid_callers"`
 
 	// IndirectTargets is the set of functions whose address is taken and
 	// may therefore legitimately be reached from an indirect callsite.
-	IndirectTargets map[string]bool `json:"indirect_targets"`
+	IndirectTargets NameSet `json:"indirect_targets"`
 
 	// AllowedIndirect maps a sensitive syscall number to the set of
 	// indirect callsite addresses that can legitimately start a path to it:
-	// an indirect callsite is allowed for syscall S iff some address-taken
-	// function matching the callsite's type signature reaches S. This is
-	// the "expected partial stack trace" of §7.3.
-	AllowedIndirect map[uint32]map[uint64]bool `json:"allowed_indirect"`
+	// an indirect callsite is allowed for syscall S iff some function in
+	// the callsite's refined target set reaches S. This is the "expected
+	// partial stack trace" of §7.3, tightened by the points-to analysis.
+	AllowedIndirect NrAddrSets `json:"allowed_indirect"`
+
+	// AllowedIndirectCoarse is the pre-refinement policy (address-taken,
+	// signature-matched), kept for the refinement ablation and audit.
+	// The refined sets are subsets of these, never supersets.
+	AllowedIndirectCoarse NrAddrSets `json:"allowed_indirect_coarse,omitempty"`
+
+	// IndirectSites maps indirect-callsite address to its per-site policy.
+	IndirectSites map[uint64]IndirectSite `json:"indirect_sites,omitempty"`
+
+	// Untraced enumerates arguments the use-def trace gave up on, sorted
+	// by (address, position); the audit reports them with reason codes.
+	Untraced []UntracedArg `json:"untraced,omitempty"`
 
 	// ArgSites maps callsite address to its argument-integrity record.
 	ArgSites map[uint64]ArgSite `json:"arg_sites"`
@@ -145,11 +294,22 @@ func New() *Metadata {
 		CallTypes:       map[uint32]CallType{},
 		Callsites:       map[uint64]Callsite{},
 		Funcs:           map[string]FuncInfo{},
-		ValidCallers:    map[string]map[string]bool{},
-		IndirectTargets: map[string]bool{},
-		AllowedIndirect: map[uint32]map[uint64]bool{},
+		ValidCallers:    map[string]NameSet{},
+		IndirectTargets: NameSet{},
+		AllowedIndirect: NrAddrSets{},
 		ArgSites:        map[uint64]ArgSite{},
 	}
+}
+
+// EffectiveAllowedIndirect returns the indirect-callsite policy for the
+// requested precision: the refined sets by default, the coarse baseline
+// when coarse is true (the refinement ablation). Metadata predating the
+// refinement has no coarse sets; the refined map doubles as both.
+func (m *Metadata) EffectiveAllowedIndirect(coarse bool) NrAddrSets {
+	if coarse && m.AllowedIndirectCoarse != nil {
+		return m.AllowedIndirectCoarse
+	}
+	return m.AllowedIndirect
 }
 
 // FuncAt returns the function whose code range contains addr, or "".
@@ -186,6 +346,22 @@ func (m *Metadata) Validate() error {
 			}
 			if spec.Size < 0 {
 				return fmt.Errorf("metadata: arg site %#x: negative size %d for arg %d", addr, spec.Size, spec.Pos)
+			}
+		}
+	}
+	// Refinement soundness: the refined indirect policy must never admit a
+	// callsite the coarse baseline rejects (a sidecar violating this was
+	// not produced by the compiler).
+	if m.AllowedIndirectCoarse != nil {
+		for nr, refined := range m.AllowedIndirect {
+			coarse, ok := m.AllowedIndirectCoarse[nr]
+			if !ok {
+				return fmt.Errorf("metadata: refined AllowedIndirect for %d has no coarse baseline", nr)
+			}
+			for addr := range refined {
+				if !coarse[addr] {
+					return fmt.Errorf("metadata: refined AllowedIndirect for %d admits %#x beyond the coarse set", nr, addr)
+				}
 			}
 		}
 	}

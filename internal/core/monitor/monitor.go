@@ -142,6 +142,13 @@ type Config struct {
 	// VerdictCacheCap bounds the cache; 0 selects DefaultVerdictCacheCap.
 	// The oldest entry is evicted when full.
 	VerdictCacheCap int
+	// CoarsePolicies makes the control-flow context enforce the
+	// pre-refinement AllowedIndirect sets (address-taken, signature-
+	// matched) instead of the points-to–refined ones. Refinement only
+	// removes statically impossible edges, so flipping this must never
+	// change a verdict on legitimate traffic — the refinement ablation
+	// and the attack-replay suite check exactly that.
+	CoarsePolicies bool
 	// Filter, when non-nil, is a precompiled seccomp program installed
 	// verbatim instead of compiling one from metadata at attach time. It
 	// must equal what BuildFilter produces for the same metadata and
@@ -586,7 +593,7 @@ func (m *Monitor) checkControlFlow(nr uint32, regs vm.Regs, trace []stackFrame, 
 			// A syscall with an AllowedIndirect entry is constrained to the
 			// recorded callsites; a present-but-empty set therefore rejects
 			// every indirect path. Unconstrained syscalls have no entry.
-			if allowed, ok := m.Meta.AllowedIndirect[nr]; ok && !allowed[cs.Addr] {
+			if allowed, ok := m.Meta.EffectiveAllowedIndirect(m.Cfg.CoarsePolicies)[nr]; ok && !allowed[cs.Addr] {
 				return &Violation{Context: ControlFlow, Nr: nr, Reason: fmt.Sprintf("indirect callsite %#x cannot legitimately reach %s", cs.Addr, kernel.Name(nr))}
 			}
 			return nil

@@ -1,0 +1,114 @@
+// Package main implements the determinism linter: a stdlib-only vet tool
+// that forbids raw map iteration inside report- and markdown-emitting
+// functions, where Go's randomized map order would make the rendered
+// artifact non-deterministic. The approved idiom is collect-then-sort:
+// gather keys in the range body, sort, then emit from the sorted slice.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// emittingFunc matches function names whose output must be byte-stable.
+var emittingFunc = regexp.MustCompile(`(?i)(markdown|render|report|summary)`)
+
+// emitCalls are the call names that write output directly: fmt's printers
+// and the io.Writer / strings.Builder write methods.
+var emitCalls = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// diagnostic is one finding, positioned at the offending range statement.
+type diagnostic struct {
+	pos     token.Pos
+	message string
+}
+
+// checkFiles flags every range over a map-typed operand that emits output
+// from its body, inside any function whose name says it renders a report.
+// A range that only collects (appends, assigns) is the sorted-iteration
+// idiom and is not flagged.
+func checkFiles(files []*ast.File, info *types.Info) []diagnostic {
+	var diags []diagnostic
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !emittingFunc.MatchString(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rs.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if call := firstEmit(rs.Body); call != "" {
+					diags = append(diags, diagnostic{
+						pos: rs.Pos(),
+						message: fmt.Sprintf(
+							"%s: range over map %s emits output (%s) in iteration order; collect keys and sort first",
+							fn.Name.Name, exprString(rs.X), call),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// firstEmit returns the name of the first output-writing call in the
+// block, or "" if the block only collects.
+func firstEmit(body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if emitCalls[fun.Sel.Name] {
+				found = fun.Sel.Name
+				return false
+			}
+		case *ast.Ident:
+			if emitCalls[fun.Name] {
+				found = fun.Name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a range operand for the diagnostic message.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	}
+	return "expression"
+}

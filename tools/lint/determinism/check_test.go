@@ -1,0 +1,141 @@
+package main
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSource typechecks one source string and runs the determinism check.
+func checkSource(t *testing.T, src string) []diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &types.Config{Importer: importer.Default(), Error: func(error) {}}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	tc.Check("p", fset, []*ast.File{f}, info)
+	return checkFiles([]*ast.File{f}, info)
+}
+
+func TestFlagsRawMapRangeInRenderFunc(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+func RenderCounts(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestFlagsBuilderWritesInMarkdownFunc(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "strings"
+
+func markdownTable(rows map[int]string) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r)
+	}
+	return b.String()
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestAllowsCollectThenSort(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func Summary(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("collect-then-sort idiom flagged: %v", diags)
+	}
+}
+
+func TestIgnoresNonEmittingFunctions(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+func debugDump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("non-report function flagged: %v", diags)
+	}
+}
+
+func TestFlagsRangeOverMapTypedExpression(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+type counts map[string]int
+
+type rep struct{ c counts }
+
+func (r *rep) Report() {
+	for k := range r.c {
+		fmt.Println(k)
+	}
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("named map type not flagged: %v", diags)
+	}
+}
+
+func TestAllowsSliceRangeInRenderFunc(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+func Render(rows []string) {
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("slice range flagged: %v", diags)
+	}
+}

@@ -1,0 +1,190 @@
+// Command determinism is wired into CI as
+//
+//	go vet -vettool=$(go env GOPATH or ./bin)/determinism ./...
+//
+// It speaks the cmd/go vet tool protocol directly (the -flags and -V=full
+// probes, then one JSON .cfg invocation per package) so it needs nothing
+// beyond the standard library. It can also run standalone over package
+// directories:
+//
+//	determinism ./internal/bench ./internal/audit
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// vetConfig is the subset of cmd/go's vet.cfg the tool consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			// cmd/go probes the tool's flag set; we define none.
+			fmt.Println("[]")
+			return
+		case args[0] == "-V=full":
+			// The version line feeds cmd/go's action cache key; bump the
+			// buildID token whenever the check's behavior changes. A devel
+			// version must carry an explicit buildID= field for cmd/go.
+			fmt.Printf("%s version devel buildID=determinism-v1\n", filepath.Base(os.Args[0]))
+			return
+		case filepath.Ext(args[0]) == ".cfg":
+			os.Exit(runVetProtocol(args[0]))
+		}
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: determinism <packages-dirs...> (or via go vet -vettool)")
+		os.Exit(2)
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runVetProtocol handles one cmd/go unit-checker invocation.
+func runVetProtocol(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "determinism: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "determinism: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go requires the facts file to exist even though this tool
+	// exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "determinism: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "determinism: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Error:    func(error) {}, // collect all, report the first below
+	}
+	info := newInfo()
+	if _, err := tc.Check(cfg.ImportPath, fset, files, info); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "determinism: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	return report(fset, checkFiles(files, info))
+}
+
+// runStandalone checks plain package directories with a lenient
+// typechecker (missing import data degrades to untyped expressions, which
+// the map check then skips).
+func runStandalone(dirs []string) int {
+	exit := 0
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		var names []string
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "determinism: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			if e.Type().IsRegular() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, filepath.Join(dir, e.Name()))
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "determinism: %v\n", err)
+				return 1
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		tc := &types.Config{Importer: importer.Default(), Error: func(error) {}}
+		info := newInfo()
+		pkg := files[0].Name.Name
+		tc.Check(pkg, fset, files, info) // best-effort: keep partial info
+		if code := report(fset, checkFiles(files, info)); code != 0 {
+			exit = code
+		}
+	}
+	return exit
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+}
+
+// report prints diagnostics in the file:line:col form vet relays.
+func report(fset *token.FileSet, diags []diagnostic) int {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.pos), d.message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeVetCfg writes one source file and a cmd/go-shaped vet.cfg for it,
+// returning the cfg path and the facts output path.
+func writeVetCfg(t *testing.T, src string, succeedOnTypecheckFailure bool) (cfgPath, vetxOut string) {
+	t.Helper()
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(srcPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetxOut = filepath.Join(dir, "vet.out")
+	cfg := vetConfig{
+		ID:                        "p",
+		Compiler:                  "gc",
+		Dir:                       dir,
+		ImportPath:                "p",
+		GoFiles:                   []string{srcPath},
+		ImportMap:                 map[string]string{},
+		PackageFile:               map[string]string{},
+		VetxOutput:                vetxOut,
+		SucceedOnTypecheckFailure: succeedOnTypecheckFailure,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxOut
+}
+
+// cleanSrc has no imports, so the protocol path typechecks without any
+// export data in PackageFile.
+const cleanSrc = `package p
+
+type m map[string]int
+
+func Render(x m) []string {
+	var keys []string
+	for k := range x {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`
+
+const dirtySrc = `package p
+
+func emit(string)
+
+func Render(x map[string]int) {
+	for k := range x {
+		emit(k)
+	}
+}
+`
+
+func TestVetProtocolCleanPackage(t *testing.T) {
+	cfg, vetx := writeVetCfg(t, cleanSrc, false)
+	if code := runVetProtocol(cfg); code != 0 {
+		t.Fatalf("clean package exited %d", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+}
+
+func TestVetProtocolFlagsDiagnostic(t *testing.T) {
+	// The body calls emit(k), which is not an output call, so sanity-check
+	// the fixture flags only when it writes output.
+	src := `package p
+
+import "fmt"
+
+func Render(x map[string]int) {
+	for k := range x {
+		fmt.Println(k)
+	}
+}
+`
+	cfg, _ := writeVetCfg(t, src, false)
+	if code := runVetProtocol(cfg); code == 0 {
+		t.Fatal("map-range emitter passed the vet protocol")
+	}
+	_ = dirtySrc
+}
+
+func TestVetProtocolVetxOnly(t *testing.T) {
+	cfg, vetx := writeVetCfg(t, dirtySrc, false)
+	data, err := os.ReadFile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c vetConfig
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	c.VetxOnly = true
+	data, _ = json.Marshal(c)
+	if err := os.WriteFile(cfg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runVetProtocol(cfg); code != 0 {
+		t.Fatalf("VetxOnly invocation exited %d", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written in VetxOnly mode: %v", err)
+	}
+}
+
+func TestVetProtocolTypecheckFailure(t *testing.T) {
+	const broken = `package p
+
+func Render() {
+	undefined(1)
+}
+`
+	cfg, _ := writeVetCfg(t, broken, false)
+	if code := runVetProtocol(cfg); code == 0 {
+		t.Fatal("typecheck failure not reported")
+	}
+	cfg2, _ := writeVetCfg(t, broken, true)
+	if code := runVetProtocol(cfg2); code != 0 {
+		t.Fatal("SucceedOnTypecheckFailure not honored")
+	}
+}
+
+func TestVetProtocolBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.cfg")
+	if code := runVetProtocol(missing); code == 0 {
+		t.Fatal("missing cfg accepted")
+	}
+	garbled := filepath.Join(dir, "bad.cfg")
+	if err := os.WriteFile(garbled, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runVetProtocol(garbled); code == 0 {
+		t.Fatal("garbled cfg accepted")
+	}
+}
+
+func TestStandaloneMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runStandalone([]string{dir}); code != 0 {
+		t.Fatalf("clean dir exited %d", code)
+	}
+	bad := t.TempDir()
+	src := `package q
+
+import "fmt"
+
+func Summary(x map[int]int) {
+	for k := range x {
+		fmt.Println(k)
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(bad, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runStandalone([]string{bad}); code == 0 {
+		t.Fatal("map-range emitter passed standalone mode")
+	}
+	if code := runStandalone([]string{filepath.Join(bad, "missing-dir")}); code == 0 {
+		t.Fatal("missing dir accepted")
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|refine|fleet|extras] [-units N]
+//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|refine|obs|fleet|extras] [-units N]
 //	bastion-bench -report out.md [-parallel] [-workers N]
 package main
 
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | refine | fleet | extras")
+	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | refine | obs | fleet | extras")
 	units := flag.Int("units", bench.DefaultUnits, "work units per measurement")
 	reportOut := flag.String("report", "", "write a complete markdown report to this file")
 	parallel := flag.Bool("parallel", false, "fan report experiments out across CPU cores (same output, less wall clock)")
@@ -154,6 +154,18 @@ func main() {
 			rows = append(rows, r)
 		}
 		fmt.Println(bench.RenderRefineAblation(rows))
+		return nil
+	})
+	run("obs", func() error {
+		var rows []*bench.ObsAblationResult
+		for _, app := range bench.Apps {
+			r, err := bench.ObsAblation(app, *units)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println(bench.RenderObsAblation(rows))
 		return nil
 	})
 	run("fleet", func() error {

@@ -9,6 +9,8 @@
 //	              [-mode full|fetch-only|hook-only] [-restarts N] [-seed N]
 //	              [-det] [-workers N] [-share=false] [-cache] [-extendfs]
 //	              [-tree] [-malicious IDX] [-attack ID] [-md]
+//	              [-trace out.jsonl] [-trace-format jsonl|chrome]
+//	              [-metrics out.txt] [-flight N]
 //
 // Example: inject the vsftpd CVE into tenant 2 of a six-tenant fleet and
 // watch it get killed and restarted while its siblings run undisturbed:
@@ -24,6 +26,7 @@ import (
 
 	"bastion/internal/core/monitor"
 	"bastion/internal/fleet"
+	"bastion/internal/obs"
 )
 
 func parseMode(s string) (monitor.Mode, error) {
@@ -64,6 +67,10 @@ func main() {
 	malicious := flag.Int("malicious", -1, "tenant index to inject an attack into (-1 = none)")
 	attackID := flag.String("attack", "", "attack scenario ID for -malicious (must match the tenant's app)")
 	md := flag.Bool("md", false, "print the full markdown report instead of the summary line")
+	traceOut := flag.String("trace", "", "write the fleet-wide decision trace (tenant-stamped) to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl | chrome")
+	metricsOut := flag.String("metrics", "", "write the merged metrics registry (text render) to this file")
+	flightN := flag.Int("flight", 0, "per-tenant flight-recorder depth (0 = off)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -94,6 +101,12 @@ func main() {
 	if (*malicious >= 0) != (*attackID != "") {
 		fail("-malicious and -attack must be used together")
 	}
+	if *flightN < 0 {
+		fail("-flight must be non-negative, got %d", *flightN)
+	}
+	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+		fail("-trace-format must be jsonl or chrome, got %q", *traceFormat)
+	}
 
 	cfg := fleet.Config{
 		Tenants:        *tenants,
@@ -108,6 +121,8 @@ func main() {
 		Seed:           *seed,
 		Deterministic:  *det,
 		Workers:        *workers,
+		Trace:          *traceOut != "" || *metricsOut != "",
+		FlightN:        *flightN,
 	}
 	if *malicious >= 0 {
 		cfg.Malicious = map[int]string{*malicious: *attackID}
@@ -137,6 +152,45 @@ func main() {
 				fmt.Printf("tenant %d (%s): dead after %d restarts (%d units done)\n",
 					tr.Index, tr.App, tr.Restarts, tr.Units)
 			}
+			if tr.Flight != "" {
+				fmt.Printf("tenant %d (%s): flight recorder\n%s", tr.Index, tr.App, tr.Flight)
+			}
 		}
+	}
+
+	runFail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bastion-fleet: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		// Tenant order, each tenant's events in sequence: stable across
+		// runs, and the tenant stamp keeps the streams separable (Chrome
+		// renders them as one process track per tenant).
+		var events []obs.TrapEvent
+		for i := range rep.Results {
+			events = append(events, rep.Results[i].Events...)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			runFail("%v", err)
+		}
+		if *traceFormat == "chrome" {
+			err = obs.WriteChrome(f, events)
+		} else {
+			err = obs.WriteJSONL(f, events)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			runFail("writing trace: %v", err)
+		}
+		fmt.Printf("%d trace events written to %s (%s)\n", len(events), *traceOut, *traceFormat)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(rep.MergedMetrics().Render()), 0o644); err != nil {
+			runFail("%v", err)
+		}
+		fmt.Printf("merged metrics written to %s\n", *metricsOut)
 	}
 }

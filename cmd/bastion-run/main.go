@@ -6,6 +6,8 @@
 //
 //	bastion-run -app nginx -units 200 [-contexts ct,cf,ai] [-unprotected]
 //	            [-extend-fs] [-no-accept-fastpath]
+//	            [-trace out.jsonl] [-trace-format jsonl|chrome]
+//	            [-metrics out.txt] [-flight N]
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"strings"
 
 	"bastion/internal/bench"
+	"bastion/internal/obs"
 )
 
 func main() {
@@ -25,6 +28,10 @@ func main() {
 	extendFS := flag.Bool("extend-fs", false, "also protect file-system syscalls (§11.2)")
 	noFast := flag.Bool("no-accept-fastpath", false, "disable the accept/accept4 fast path")
 	showMaps := flag.Bool("maps", false, "print the final process memory map")
+	traceOut := flag.String("trace", "", "write the per-trap decision trace to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl | chrome")
+	metricsOut := flag.String("metrics", "", "write the metrics registry (text render) to this file")
+	flightN := flag.Int("flight", 0, "flight-recorder depth (last N traps attached to violations; 0 = off)")
 	flag.Parse()
 
 	spec := bench.RunSpec{
@@ -49,10 +56,54 @@ func main() {
 		}
 	}
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bastion-run: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *flightN < 0 {
+		fail("-flight must be non-negative, got %d", *flightN)
+	}
+	var sink *obs.BufferSink
+	if *traceOut != "" {
+		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+			fail("-trace-format must be jsonl or chrome, got %q", *traceFormat)
+		}
+		sink = &obs.BufferSink{}
+		spec.Sink = sink
+	}
+	spec.FlightN = *flightN
+
 	res, err := bench.Run(spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bastion-run: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
+	}
+
+	if sink != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *traceFormat == "chrome" {
+			err = obs.WriteChrome(f, sink.Events)
+		} else {
+			err = obs.WriteJSONL(f, sink.Events)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail("writing trace: %v", err)
+		}
+		fmt.Printf("bastion-run: %d trace events written to %s (%s)\n", len(sink.Events), *traceOut, *traceFormat)
+	}
+	if *metricsOut != "" {
+		if res.Protected.Monitor == nil {
+			fail("-metrics requires a monitored run (drop -unprotected)")
+		}
+		if err := os.WriteFile(*metricsOut, []byte(res.Protected.Monitor.Metrics.Render()), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("bastion-run: metrics written to %s\n", *metricsOut)
 	}
 
 	wl := res.Workload
@@ -69,6 +120,9 @@ func main() {
 		mon := res.Protected.Monitor
 		fmt.Printf(" monitor init:    %.2f ms\n", float64(mon.InitCycles)/bench.SimHz*1000)
 		fmt.Print(mon.Report())
+		if mon.Recorder != nil && len(mon.Violations) > 0 {
+			fmt.Printf(" flight recorder (last %d traps):\n%s", mon.Recorder.Len(), mon.Recorder.DumpJSONL())
+		}
 	}
 	m := res.Protected.Machine
 	if m.DepthN > 0 {

@@ -23,6 +23,7 @@ import (
 	"bastion/internal/ir"
 	"bastion/internal/kernel"
 	"bastion/internal/kernel/fs"
+	"bastion/internal/obs"
 	"bastion/internal/vm"
 )
 
@@ -43,6 +44,12 @@ type Defense struct {
 	// AllowedIndirect sets; the refinement replay suite asserts verdicts
 	// are byte-identical either way.
 	CoarsePolicies bool
+	// Sink receives the monitor's decision trace. Telemetry never charges
+	// cycles, so the traced replay suite asserts verdicts are identical
+	// with and without it.
+	Sink obs.Sink
+	// FlightN enables the monitor's flight recorder.
+	FlightN int
 }
 
 // Canonical defenses for the evaluation.
@@ -313,6 +320,8 @@ func Launch(app string, d Defense) (*Env, error) {
 		cfg.Mode = d.Mode
 		cfg.VerdictCache = d.VerdictCache
 		cfg.CoarsePolicies = d.CoarsePolicies
+		cfg.Sink = d.Sink
+		cfg.FlightN = d.FlightN
 		prot, err = core.Launch(art, k, cfg, vmOpts...)
 	} else {
 		prot, err = core.LaunchUnprotected(art, k, vmOpts...)

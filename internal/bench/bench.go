@@ -41,6 +41,7 @@ import (
 	"bastion/internal/core/monitor"
 	"bastion/internal/fleet"
 	"bastion/internal/kernel"
+	"bastion/internal/obs"
 	"bastion/internal/vm"
 	"bastion/internal/workload"
 )
@@ -128,6 +129,11 @@ type RunSpec struct {
 	// (nil = the package-wide cache). Supply a fresh fleet.NewArtifacts()
 	// to measure compilation dedup in isolation.
 	Artifacts *fleet.Artifacts
+	// Sink attaches a decision-trace sink to the monitor and FlightN
+	// sizes its flight recorder (the observability ablation: telemetry
+	// must be cycle-invisible).
+	Sink    obs.Sink
+	FlightN int
 }
 
 // RunResult couples a workload measurement with its launch context.
@@ -191,6 +197,10 @@ func Run(spec RunSpec) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Telemetry rides on the resolved per-run copy: it never enters the
+		// shared artifact cache key.
+		cfg.Sink = spec.Sink
+		cfg.FlightN = spec.FlightN
 		prot, err := core.Launch(art, k, cfg, vmOpts...)
 		if err != nil {
 			return nil, err

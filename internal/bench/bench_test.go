@@ -379,3 +379,28 @@ func TestFilterAblationTreeStrictlyCheaper(t *testing.T) {
 		}
 	}
 }
+
+// TestObsAblation is the acceptance bar for the observability plane: with
+// a trace sink and flight recorder attached, every workload measurement is
+// bit-identical to the untraced run, and the trace fully covers the traps.
+func TestObsAblation(t *testing.T) {
+	for _, app := range Apps {
+		res, err := ObsAblation(app, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Identical {
+			t.Errorf("%s: telemetry perturbed the measurement: off %.1f vs on %.1f mon cyc/unit",
+				app, res.OffMonPerUnit, res.OnMonPerUnit)
+		}
+		if uint64(res.Events) != res.Traps {
+			t.Errorf("%s: %d trace events for %d traps", app, res.Events, res.Traps)
+		}
+		if res.TraceBytes == 0 {
+			t.Errorf("%s: empty trace", app)
+		}
+		if res.FlightEvents == 0 {
+			t.Errorf("%s: flight recorder empty after a traced run", app)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"bastion/internal/attacks"
 	"bastion/internal/core/monitor"
 	"bastion/internal/kernel"
+	"bastion/internal/obs"
 	"bastion/internal/seccomp"
 	"bastion/internal/workload"
 )
@@ -689,6 +690,82 @@ func RenderRefineAblation(rows []*RefineAblationResult) string {
 			r.ExactSites, r.EscapedSites)
 	}
 	return b.String()
+}
+
+// ObsAblationResult compares a fully protected run with telemetry off
+// against the identical run with a decision-trace sink and flight recorder
+// attached — the observability plane's zero-cost claim. Telemetry reads
+// the simulated clock but never advances it, so every cycle account must
+// be bit-identical, not merely close.
+type ObsAblationResult struct {
+	App string
+	// Identical reports whether the two runs' full workload measurements
+	// (units, bytes, and every cycle account) matched exactly.
+	Identical bool
+	// OffMonPerUnit / OnMonPerUnit are monitor cycles per work unit with
+	// telemetry off and on; Identical implies they are equal.
+	OffMonPerUnit float64
+	OnMonPerUnit  float64
+	// Traps and Events count the traced run's monitor hooks and emitted
+	// trace events (they must agree); TraceBytes is the JSONL trace size
+	// — the observability cost lives here, off the simulated timeline.
+	Traps      uint64
+	Events     int
+	TraceBytes int
+	// FlightEvents is the flight-recorder occupancy after the run.
+	FlightEvents int
+}
+
+// ObsAblation measures the observability ablation for one application:
+// full protection with the fs extension and verdict cache, telemetry off
+// versus a buffered trace sink plus a 32-deep flight recorder.
+func ObsAblation(app string, units int) (*ObsAblationResult, error) {
+	spec := RunSpec{App: app, Mitigation: MitFull, Units: units, ExtendFS: true, VerdictCache: true}
+	off, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	sink := &obs.BufferSink{}
+	spec.Sink = sink
+	spec.FlightN = 32
+	on, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	var trace strings.Builder
+	if err := obs.WriteJSONL(&trace, sink.Events); err != nil {
+		return nil, err
+	}
+	return &ObsAblationResult{
+		App:           app,
+		Identical:     off.Workload == on.Workload,
+		OffMonPerUnit: off.Workload.PerUnitMonitor(),
+		OnMonPerUnit:  on.Workload.PerUnitMonitor(),
+		Traps:         on.Protected.Monitor.Hooks,
+		Events:        len(sink.Events),
+		TraceBytes:    trace.Len(),
+		FlightEvents:  on.Protected.Monitor.Recorder.Len(),
+	}, nil
+}
+
+// RenderObsAblation formats the observability ablation rows.
+func RenderObsAblation(rows []*ObsAblationResult) string {
+	var b strings.Builder
+	b.WriteString("Observability ablation: full protection, fs extension, verdict cache; trace sink + flight recorder on vs off\n")
+	fmt.Fprintf(&b, "%-8s %16s %15s %8s %8s %11s %9s\n", "app",
+		"off mon cyc/unit", "on mon cyc/unit", "traps", "events", "trace bytes", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %16.0f %15.0f %8d %8d %11d %9s\n", r.App,
+			r.OffMonPerUnit, r.OnMonPerUnit, r.Traps, r.Events, r.TraceBytes, yesno(r.Identical))
+	}
+	return b.String()
+}
+
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
 }
 
 // InKernelResult compares the ptrace monitor against the §11.2 in-kernel

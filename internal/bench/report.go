@@ -25,6 +25,7 @@ type Report struct {
 	Filter  []*FilterAblationResult
 	Cache   []*CacheAblationResult
 	Refine  []*RefineAblationResult
+	Obs     []*ObsAblationResult
 	Fleet   *FleetScalingResult
 	// Timings records each experiment's wall-clock duration, in the fixed
 	// experiment order. It is rendered by TimingSummary, never by Markdown,
@@ -62,6 +63,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 		Filter: make([]*FilterAblationResult, len(Apps)),
 		Cache:  make([]*CacheAblationResult, len(Apps)),
 		Refine: make([]*RefineAblationResult, len(Apps)),
+		Obs:    make([]*ObsAblationResult, len(Apps)),
 	}
 	type task struct {
 		name string
@@ -85,6 +87,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 			task{"filter ablation " + app, func() (err error) { r.Filter[i], err = FilterAblation(app, units); return }},
 			task{"cache ablation " + app, func() (err error) { r.Cache[i], err = CacheAblation(app, units); return }},
 			task{"refine ablation " + app, func() (err error) { r.Refine[i], err = RefineAblation(app, units); return }},
+			task{"obs ablation " + app, func() (err error) { r.Obs[i], err = ObsAblation(app, units); return }},
 		)
 	}
 	r.Timings = make([]ExperimentTiming, len(tasks))
@@ -252,6 +255,15 @@ func (r *Report) Markdown() string {
 			rr.ExactSites, rr.EscapedSites,
 			rr.CoarseMonPerUnit, rr.RefinedMonPerUnit,
 			rr.CoarseOverhead, rr.RefinedOverhead)
+	}
+
+	b.WriteString("\n## Observability ablation — trace sink and flight recorder on vs off\n\n")
+	b.WriteString("Full protection with the fs extension and verdict cache, rerun with a buffered decision-trace sink and a 32-deep flight recorder attached. Telemetry reads the simulated clock but never advances it, so the cycle accounts must be bit-identical — the trace's cost is its bytes, off the simulated timeline.\n\n")
+	b.WriteString("| app | off mon cyc/unit | on mon cyc/unit | traps | events | trace bytes | identical |\n|---|---|---|---|---|---|---|\n")
+	for _, or := range r.Obs {
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %d | %d | %d | %s |\n", or.App,
+			or.OffMonPerUnit, or.OnMonPerUnit, or.Traps, or.Events, or.TraceBytes,
+			yesno(or.Identical))
 	}
 
 	b.WriteString("\n## Fleet scaling — shared vs per-tenant compilation\n\n")

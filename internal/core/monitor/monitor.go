@@ -13,13 +13,13 @@ package monitor
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"bastion/internal/core/metadata"
 	"bastion/internal/core/shadow"
 	"bastion/internal/ir"
 	"bastion/internal/kernel"
+	"bastion/internal/obs"
 	"bastion/internal/seccomp"
 	"bastion/internal/vm"
 )
@@ -155,6 +155,19 @@ type Config struct {
 	// config; fleet supervisors use this to compile a workload's filter
 	// once and share it immutably across many tenant launches.
 	Filter []seccomp.Insn
+	// Sink, when non-nil, receives one obs.TrapEvent per trap — the
+	// decision trace. Telemetry reads the cycle clock but never advances
+	// it, so a traced run produces verdicts and cycle accounts
+	// byte-identical to an untraced one; with a nil sink the event is
+	// never built and Trap stays allocation-free.
+	Sink obs.Sink
+	// FlightN bounds the flight recorder: the last N trap events are
+	// retained and attached to every Violation as its History. 0 disables
+	// the recorder.
+	FlightN int
+	// Tenant stamps trace events with the owning tenant index (fleet
+	// runs; 0 standalone).
+	Tenant int
 	// MaxUnwindDepth bounds stack walks.
 	MaxUnwindDepth int
 	Costs          Costs
@@ -181,6 +194,10 @@ type Violation struct {
 	Context Context
 	Nr      uint32
 	Reason  string
+	// History is the flight-recorder dump at detection time — the last
+	// Config.FlightN trap events oldest-first, the violating trap last.
+	// Nil unless the flight recorder is enabled.
+	History []obs.TrapEvent
 }
 
 func (v Violation) String() string {
@@ -211,7 +228,43 @@ type Monitor struct {
 	CacheInserts   uint64
 	CacheEvictions uint64
 
+	// Metrics is the monitor's telemetry registry. The exported counter
+	// fields above remain the single storage — the registry renders
+	// through bound pointers — and the registry additionally owns the
+	// per-stage cycle counters and the trap histograms.
+	Metrics *obs.Registry
+	// Recorder is the flight recorder (nil unless Config.FlightN > 0).
+	Recorder *obs.FlightRecorder
+
 	cache *verdictCache
+
+	// Per-trap telemetry scratch, reused across traps so the nil-sink
+	// path adds no allocations to the hot path.
+	stat         trapStat
+	ev           obs.TrapEvent
+	frameScratch []stackFrame
+	histByNr     map[uint32]*obs.Histogram
+
+	violCounter                                         *obs.Counter
+	cycFetch, cycUnwind, cycLookup, cycCT, cycCF, cycAI *obs.Counter
+	histTrap, histDepth, histPointee                    *obs.Histogram
+}
+
+// trapStat accumulates one trap's telemetry while it executes. Stage
+// cycle attributions are differences of clock readings taken at stage
+// boundaries — the clock is read, never advanced, so the breakdown is
+// free and the stage fields always sum to the trap's total.
+type trapStat struct {
+	start   uint64
+	nr      uint32
+	fetched bool
+
+	fetch, unwind, lookup, ct, cf, ai uint64
+
+	vCT, vCF, vAI obs.Verdict
+	cache         obs.CacheOutcome
+	depth         int
+	pointee       uint64
 }
 
 // Attach prepares a process for protection: maps the shadow region into
@@ -240,6 +293,7 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 	if cfg.VerdictCache {
 		m.cache = newVerdictCache(cfg.VerdictCacheCap)
 	}
+	m.initTelemetry()
 	if err := shadow.MapRegion(proc.M.Mem); err != nil {
 		return nil, fmt.Errorf("monitor: mapping shadow region: %w", err)
 	}
@@ -270,6 +324,35 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 		25*uint64(len(meta.Funcs))
 	proc.K.Clock.Add(m.InitCycles)
 	return m, nil
+}
+
+// initTelemetry builds the metrics registry, binds the pre-existing
+// exported counter fields and the per-syscall check map into it, and
+// sets up the flight recorder and the unwind scratch.
+func (m *Monitor) initTelemetry() {
+	r := obs.NewRegistry()
+	r.BindCounter("monitor_hooks_total", &m.Hooks)
+	r.BindCounter("monitor_cache_hits_total", &m.CacheHits)
+	r.BindCounter("monitor_cache_misses_total", &m.CacheMisses)
+	r.BindCounter("monitor_cache_inserts_total", &m.CacheInserts)
+	r.BindCounter("monitor_cache_evictions_total", &m.CacheEvictions)
+	r.BindCounterMap("monitor_checks_total", m.ChecksByNr, kernel.Name)
+	m.violCounter = r.Counter("monitor_violations_total")
+	m.cycFetch = r.Counter("monitor_cycles_fetch_total")
+	m.cycUnwind = r.Counter("monitor_cycles_unwind_total")
+	m.cycLookup = r.Counter("monitor_cycles_cache_lookup_total")
+	m.cycCT = r.Counter("monitor_cycles_ct_total")
+	m.cycCF = r.Counter("monitor_cycles_cf_total")
+	m.cycAI = r.Counter("monitor_cycles_ai_total")
+	m.histTrap = r.Histogram("monitor_trap_cycles", obs.CycleBuckets)
+	m.histDepth = r.Histogram("monitor_unwind_depth", obs.DepthBuckets)
+	m.histPointee = r.Histogram("monitor_pointee_bytes", obs.ByteBuckets)
+	m.histByNr = map[uint32]*obs.Histogram{}
+	m.Metrics = r
+	m.frameScratch = make([]stackFrame, 0, m.Cfg.MaxUnwindDepth)
+	if m.Cfg.FlightN > 0 {
+		m.Recorder = obs.NewFlightRecorder(m.Cfg.FlightN)
+	}
 }
 
 // BuildFilter compiles call-type metadata into the seccomp program:
@@ -333,9 +416,24 @@ func BuildFilter(meta *metadata.Metadata, cfg Config) ([]seccomp.Insn, error) {
 // necessary for their per-request frequency.
 func (m *Monitor) Trap(p *kernel.Process) error {
 	m.Hooks++
+	seq := m.Hooks - 1
+	m.stat = trapStat{start: p.K.Clock.Cycles}
+	nViol := len(m.Violations)
+	err := m.trap(p)
+	m.observe(p, seq, nViol)
+	return err
+}
+
+// trap is the enforcement body; Trap wraps it with the telemetry
+// bracket. Stage timings are clock-reading differences around the
+// existing charges — nothing here adds cycles.
+func (m *Monitor) trap(p *kernel.Process) error {
 	if m.Cfg.Mode == ModeHookOnly {
 		return nil
 	}
+	st := &m.stat
+	clk := &p.K.Clock.Cycles
+	c := *clk
 	var regs vm.Regs
 	if m.Cfg.InKernel {
 		regs = p.GetRegsInKernel()
@@ -343,7 +441,10 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 		p.K.Clock.Add(m.Cfg.Costs.TrapRoundTrip)
 		regs = p.GetRegs()
 	}
+	st.fetch = *clk - c
+	st.fetched = true
 	nr := uint32(regs.RAX)
+	st.nr = nr
 	m.ChecksByNr[nr]++
 
 	fast := m.Cfg.Mode == ModeFull && m.Cfg.AcceptFastPath &&
@@ -351,6 +452,7 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 	needStack := m.Cfg.Mode == ModeFetchOnly ||
 		(!fast && m.Cfg.Contexts&(ControlFlow|ArgIntegrity) != 0)
 
+	c = *clk
 	var trace []stackFrame
 	var clean bool
 	var err error
@@ -359,7 +461,10 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 	} else {
 		trace, err = m.innermostFrame(regs)
 	}
+	st.unwind = *clk - c
+	st.depth = len(trace)
 	if err != nil {
+		st.vCF = obs.VerdictViolation
 		return m.flag(Violation{Context: ControlFlow, Nr: nr, Reason: "stack unwind failed: " + err.Error()})
 	}
 	if m.Cfg.Mode == ModeFetchOnly {
@@ -372,24 +477,41 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 	hit := false
 	var key cacheKey
 	useCache := m.cache != nil && !fast
+	if m.cache != nil && fast {
+		st.cache = obs.CacheBypass
+	}
 	if useCache {
+		c = *clk
 		p.K.Clock.Add(m.Cfg.Costs.CacheLookup)
 		key = m.verdictKey(nr, regs, trace, clean)
 		if m.cache.contains(key) {
 			m.CacheHits++
 			hit = true
+			st.cache = obs.CacheHit
 		} else {
 			m.CacheMisses++
+			st.cache = obs.CacheMiss
 		}
+		st.lookup = *clk - c
 	}
 	violated := false
 
-	if m.Cfg.Contexts&CallType != 0 && !hit {
-		p.K.Clock.Add(m.Cfg.Costs.CTCheck)
-		if v := m.checkCallType(nr, trace); v != nil {
-			violated = true
-			if err := m.flag(*v); err != nil {
-				return err
+	if m.Cfg.Contexts&CallType != 0 {
+		if hit {
+			st.vCT = obs.VerdictCached
+		} else {
+			c = *clk
+			p.K.Clock.Add(m.Cfg.Costs.CTCheck)
+			v := m.checkCallType(nr, trace)
+			st.ct = *clk - c
+			if v != nil {
+				st.vCT = obs.VerdictViolation
+				violated = true
+				if err := m.flag(*v); err != nil {
+					return err
+				}
+			} else {
+				st.vCT = obs.VerdictPass
 			}
 		}
 	}
@@ -399,16 +521,22 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 		// flag arguments — and skip the full walk, binding lookups, and the
 		// sockaddr pointee (kernel-written output).
 		if m.Cfg.Contexts&ControlFlow != 0 && len(trace) == 1 {
+			c = *clk
 			p.K.Clock.Add(m.Cfg.Costs.CFPerFrame)
 			cs, ok := m.Meta.Callsites[trace[0].Ret]
 			if ok && cs.Kind == metadata.SiteDirect {
 				if constrained, allowed := m.Meta.CallerAllowed(cs.Target, cs.Caller); constrained && !allowed {
+					st.cf = *clk - c
+					st.vCF = obs.VerdictViolation
 					return m.flag(Violation{Context: ControlFlow, Nr: nr,
 						Reason: fmt.Sprintf("%s is not a valid caller of %s", cs.Caller, cs.Target)})
 				}
 			}
+			st.cf = *clk - c
+			st.vCF = obs.VerdictPass
 		}
 		if m.Cfg.Contexts&ArgIntegrity != 0 && len(trace) == 1 {
+			c = *clk
 			if cs, ok := m.Meta.Callsites[trace[0].Ret]; ok {
 				if site, ok := m.Meta.ArgSites[cs.Addr]; ok {
 					for _, spec := range site.Args {
@@ -417,44 +545,136 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 						}
 						p.K.Clock.Add(m.Cfg.Costs.AIPerArg)
 						if regs.Arg(spec.Pos) != uint64(spec.Const) {
+							st.ai = *clk - c
+							st.vAI = obs.VerdictViolation
 							return m.flag(Violation{Context: ArgIntegrity, Nr: nr,
 								Reason: fmt.Sprintf("arg %d is %#x, expected constant %#x", spec.Pos, regs.Arg(spec.Pos), uint64(spec.Const))})
 						}
 					}
 				}
 			}
+			st.ai = *clk - c
+			st.vAI = obs.VerdictPass
 		}
 		return nil
 	}
-	if m.Cfg.Contexts&ControlFlow != 0 && !hit {
-		if v := m.checkControlFlow(nr, regs, trace, clean); v != nil {
-			violated = true
-			if err := m.flag(*v); err != nil {
-				return err
+	if m.Cfg.Contexts&ControlFlow != 0 {
+		if hit {
+			st.vCF = obs.VerdictCached
+		} else {
+			c = *clk
+			v := m.checkControlFlow(nr, regs, trace, clean)
+			st.cf = *clk - c
+			if v != nil {
+				st.vCF = obs.VerdictViolation
+				violated = true
+				if err := m.flag(*v); err != nil {
+					return err
+				}
+			} else {
+				st.vCF = obs.VerdictPass
 			}
 		}
 	}
 	if m.Cfg.Contexts&ArgIntegrity != 0 {
 		// On a hit the constant-argument verdict is covered by the cache
 		// key; memory-backed and pointee arguments are re-verified always.
-		if v := m.checkArgIntegrity(nr, regs, trace, hit); v != nil {
+		c = *clk
+		v := m.checkArgIntegrity(nr, regs, trace, hit)
+		st.ai = *clk - c
+		if v != nil {
+			st.vAI = obs.VerdictViolation
 			violated = true
 			if err := m.flag(*v); err != nil {
 				return err
 			}
+		} else {
+			st.vAI = obs.VerdictPass
 		}
 	}
 	// Only clean passes are cached: report-only mode must re-record a
 	// recurring violation on every trap, exactly as an uncached monitor
 	// does.
 	if useCache && !hit && !violated {
+		c = *clk
 		p.K.Clock.Add(m.Cfg.Costs.CacheInsert)
 		if m.cache.insert(key) {
 			m.CacheEvictions++
 		}
 		m.CacheInserts++
+		// The insert charge is cache maintenance; attribute it to the
+		// cache stage so the breakdown still sums to the trap total.
+		st.lookup += *clk - c
 	}
 	return nil
+}
+
+// observe closes the telemetry bracket around one trap: it feeds the
+// metrics registry, builds the TrapEvent if a sink or the flight
+// recorder wants it, and attaches the flight-recorder history to any
+// violations this trap raised. With a nil sink and no recorder it does
+// a few counter additions and histogram observations — no allocations.
+func (m *Monitor) observe(p *kernel.Process, seq uint64, nViol int) {
+	st := &m.stat
+	end := p.K.Clock.Cycles
+	m.cycFetch.Add(st.fetch)
+	m.cycUnwind.Add(st.unwind)
+	m.cycLookup.Add(st.lookup)
+	m.cycCT.Add(st.ct)
+	m.cycCF.Add(st.cf)
+	m.cycAI.Add(st.ai)
+	m.histTrap.Observe(end - st.start)
+	if st.fetched {
+		m.histDepth.Observe(uint64(st.depth))
+		m.histPointee.Observe(st.pointee)
+		h := m.histByNr[st.nr]
+		if h == nil {
+			h = m.Metrics.Histogram("monitor_trap_cycles["+kernel.Name(st.nr)+"]", obs.CycleBuckets)
+			m.histByNr[st.nr] = h
+		}
+		h.Observe(end - st.start)
+	} else {
+		// Hook-only traps never fetch registers; read the number directly
+		// for the trace record (telemetry is free, the simulation is not).
+		st.nr = uint32(p.M.SysRegs.RAX)
+	}
+	if m.Cfg.Sink == nil && m.Recorder == nil {
+		return
+	}
+	ev := &m.ev
+	*ev = obs.TrapEvent{
+		Seq:    seq,
+		Tenant: m.Cfg.Tenant,
+		Nr:     st.nr,
+		Name:   kernel.Name(st.nr),
+		Start:  st.start,
+		End:    end,
+		CT:     st.vCT,
+		CF:     st.vCF,
+		AI:     st.vAI,
+		Cache:  st.cache,
+		Cycles: obs.CycleBreakdown{
+			Fetch: st.fetch, Unwind: st.unwind, CacheLookup: st.lookup,
+			CT: st.ct, CF: st.cf, AI: st.ai,
+		},
+		UnwindDepth:  st.depth,
+		PointeeBytes: st.pointee,
+	}
+	if len(m.Violations) > nViol {
+		ev.Violation = m.Violations[nViol].String()
+	}
+	if m.Recorder != nil {
+		m.Recorder.Add(ev)
+		if len(m.Violations) > nViol {
+			history := m.Recorder.Events()
+			for i := nViol; i < len(m.Violations); i++ {
+				m.Violations[i].History = history
+			}
+		}
+	}
+	if m.Cfg.Sink != nil {
+		m.Cfg.Sink.Emit(ev)
+	}
 }
 
 // innermostFrame reads just the first frame of the chain (the call-type
@@ -467,13 +687,16 @@ func (m *Monitor) innermostFrame(regs vm.Regs) ([]stackFrame, error) {
 	if err != nil || ret == 0 {
 		return nil, err
 	}
-	return []stackFrame{{Ret: ret, BP: regs.RBP}}, nil
+	return append(m.frameScratch[:0], stackFrame{Ret: ret, BP: regs.RBP}), nil
 }
 
 // flag records a violation; in kill mode it returns the fatal error the
 // kernel turns into process termination.
 func (m *Monitor) flag(v Violation) error {
 	m.Violations = append(m.Violations, v)
+	if m.violCounter != nil {
+		m.violCounter.Inc()
+	}
 	if m.Cfg.ReportOnly {
 		return nil
 	}
@@ -503,6 +726,10 @@ type stackFrame struct {
 // pointer, or the depth cap — did not reach the process base and is a
 // control-flow violation (§7.3 unwinds "until the bottom of the stack").
 func (m *Monitor) unwind(regs vm.Regs) (frames []stackFrame, clean bool, err error) {
+	// The scratch slice is sized to MaxUnwindDepth at attach time, so the
+	// appends below never grow it: the walk is allocation-free. Frames are
+	// only ever used within the current trap.
+	frames = m.frameScratch[:0]
 	bp := regs.RBP
 	for i := 0; i < m.Cfg.MaxUnwindDepth; i++ {
 		if bp == 0 {
@@ -807,6 +1034,7 @@ func (m *Monitor) checkMemArg(nr uint32, regs vm.Regs, site metadata.ArgSite, sp
 			return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "pointee unreadable"}
 		}
 		m.proc.K.Clock.Add(m.Cfg.Costs.PointeePerByte * uint64(size))
+		m.stat.pointee += uint64(size)
 		if shadow.Digest(data) != v {
 			return &Violation{Context: ArgIntegrity, Nr: nr,
 				Reason: fmt.Sprintf("arg %d pointee digest mismatch", spec.Pos)}
@@ -877,6 +1105,7 @@ func (m *Monitor) checkCStringPointee(nr uint32, pos int, ptr uint64) *Violation
 		return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "extended argument string unreadable"}
 	}
 	m.proc.K.Clock.Add(m.Cfg.Costs.PointeePerByte * uint64(len(s)+1))
+	m.stat.pointee += uint64(len(s) + 1)
 	return m.verifyBytes(nr, pos, ptr, append([]byte(s), 0), true)
 }
 
@@ -892,6 +1121,7 @@ func (m *Monitor) walkPointee(nr uint32, pos int, ptr uint64, size int64, requir
 		return &Violation{Context: ArgIntegrity, Nr: nr, Reason: "extended argument region unreadable"}
 	}
 	m.proc.K.Clock.Add(m.Cfg.Costs.PointeePerByte * uint64(size))
+	m.stat.pointee += uint64(size)
 	return m.verifyBytes(nr, pos, ptr, data, requireCoverage)
 }
 
@@ -984,27 +1214,36 @@ func (m *Monitor) readGuestUint(addr uint64, size int64) (uint64, error) {
 }
 
 // Report renders a human-readable enforcement summary: hook counts per
-// syscall, configuration, and any violations.
+// syscall, configuration, and any violations. Every figure is read from
+// the metrics registry (the exported fields are its bound storage), so
+// the report and a registry snapshot can never disagree.
 func (m *Monitor) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "BASTION monitor: contexts=%s mode=%s hooks=%d\n", m.Cfg.Contexts, m.Cfg.Mode, m.Hooks)
+	reg := m.Metrics
+	if reg == nil {
+		m.initTelemetry()
+		reg = m.Metrics
+	}
+	fmt.Fprintf(&b, "BASTION monitor: contexts=%s mode=%s hooks=%d\n",
+		m.Cfg.Contexts, m.Cfg.Mode, reg.Counter("monitor_hooks_total").Value())
 	if m.cache != nil {
 		fmt.Fprintf(&b, "  verdict cache: %d hits, %d misses, %d inserts, %d evictions, %d resident (cap %d)\n",
-			m.CacheHits, m.CacheMisses, m.CacheInserts, m.CacheEvictions, m.cache.resident(), m.Cfg.VerdictCacheCap)
+			reg.Counter("monitor_cache_hits_total").Value(),
+			reg.Counter("monitor_cache_misses_total").Value(),
+			reg.Counter("monitor_cache_inserts_total").Value(),
+			reg.Counter("monitor_cache_evictions_total").Value(),
+			m.cache.resident(), m.Cfg.VerdictCacheCap)
 	}
-	nrs := make([]uint32, 0, len(m.ChecksByNr))
-	for nr := range m.ChecksByNr {
-		nrs = append(nrs, nr)
-	}
-	sort.Slice(nrs, func(i, j int) bool { return nrs[i] < nrs[j] })
-	for _, nr := range nrs {
-		fmt.Fprintf(&b, "  %-18s %d checks\n", kernel.Name(nr), m.ChecksByNr[nr])
+	for _, row := range reg.CounterMapRows("monitor_checks_total") {
+		fmt.Fprintf(&b, "  %-18s %d checks\n", row.Label, row.Value)
 	}
 	if len(m.Violations) == 0 {
 		b.WriteString("  no violations\n")
-	}
-	for _, v := range m.Violations {
-		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	} else {
+		fmt.Fprintf(&b, "  %d violations\n", len(m.Violations))
+		for _, v := range m.Violations {
+			fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+		}
 	}
 	return b.String()
 }

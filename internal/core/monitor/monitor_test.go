@@ -86,19 +86,19 @@ func buildVictim() *ir.Program {
 	return p
 }
 
-func launch(t *testing.T, cfg monitor.Config) *core.Protected {
-	t.Helper()
+func launch(tb testing.TB, cfg monitor.Config) *core.Protected {
+	tb.Helper()
 	art, err := core.Compile(buildVictim(), core.CompileOptions{})
 	if err != nil {
-		t.Fatalf("Compile: %v", err)
+		tb.Fatalf("Compile: %v", err)
 	}
 	k := kernel.New(nil)
 	if err := k.FS.WriteFile("/bin/app", []byte("x"), 0o5); err != nil {
-		t.Fatal(err)
+		tb.Fatal(err)
 	}
 	prot, err := core.Launch(art, k, cfg, vm.WithMaxSteps(1<<22))
 	if err != nil {
-		t.Fatalf("Launch: %v", err)
+		tb.Fatalf("Launch: %v", err)
 	}
 	return prot
 }

@@ -11,6 +11,7 @@ import (
 	"bastion/internal/core"
 	"bastion/internal/core/monitor"
 	"bastion/internal/kernel"
+	"bastion/internal/obs"
 	"bastion/internal/vm"
 	"bastion/internal/workload"
 )
@@ -79,6 +80,14 @@ type Config struct {
 
 	// MaxSteps bounds each incarnation's guest execution (0 = default).
 	MaxSteps uint64
+
+	// Trace enables the telemetry plane: every incarnation's monitor gets
+	// a per-tenant buffer sink, and each tenant's decision trace and
+	// merged metrics registry land in its TenantResult. FlightN sizes the
+	// per-monitor flight recorder (0 = off); a tenant whose incarnation
+	// crashes or records a violation keeps that recorder's dump.
+	Trace   bool
+	FlightN int
 }
 
 // Validate rejects nonsensical configurations.
@@ -196,6 +205,17 @@ type TenantResult struct {
 	// attack that completed its goal.
 	Attack      *AttackOutcome
 	Compromised bool
+
+	// Events is the tenant's decision trace across incarnations (Trace
+	// on), re-sequenced 0..n-1 tenant-wide; each incarnation's cycle
+	// stamps restart at its fresh clock. Metrics merges the
+	// per-incarnation monitor registries.
+	Events  []obs.TrapEvent
+	Metrics *obs.Registry
+	// Flight is the flight-recorder dump (JSONL, oldest trap first) of
+	// the most recent incarnation that crashed or recorded a violation;
+	// empty when FlightN is 0 or no incarnation qualified.
+	Flight string
 }
 
 // PerUnitTotal returns steady-state cycles per completed unit.
@@ -324,6 +344,9 @@ func (f *faultyTarget) Unit(p *core.Protected, i int) (int64, error) {
 func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifacts, error) {
 	app := cfg.appOf(idx)
 	res := TenantResult{Index: idx, App: app}
+	if cfg.Trace {
+		res.Metrics = obs.NewRegistry()
+	}
 
 	arts := shared
 	var priv *Artifacts
@@ -366,7 +389,7 @@ func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifact
 			arts = priv
 		}
 
-		prot, target, err := launchTenant(cfg, app, malicious && !attackDone, arts)
+		prot, target, err := launchTenant(cfg, idx, app, malicious && !attackDone, arts)
 		if err != nil {
 			return res, priv, err
 		}
@@ -390,6 +413,10 @@ func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifact
 		accumulate(&res, wl, prot)
 
 		if runErr != nil {
+			// A killed incarnation's monitor still holds its violations,
+			// cache statistics, and flight recorder — drain before
+			// retiring, or a security kill's evidence is lost.
+			drainMonitor(&res, prot, true)
 			retire(cfg, &res, &attempt, classifyKill(runErr))
 			continue
 		}
@@ -403,10 +430,10 @@ func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifact
 				// tenant rather than keep serving from a compromised guest.
 				res.Compromised = true
 				res.Dead = true
-				drainMonitor(&res, prot)
+				drainMonitor(&res, prot, true)
 				break
 			}
-			drainMonitor(&res, prot)
+			drainMonitor(&res, prot, out.Killed)
 			if out.Killed {
 				res.KilledBy = out.KilledBy
 				retire(cfg, &res, &attempt, true)
@@ -418,7 +445,7 @@ func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifact
 			continue
 		}
 
-		drainMonitor(&res, prot)
+		drainMonitor(&res, prot, false)
 		if res.Units >= cfg.Units {
 			break
 		}
@@ -430,7 +457,7 @@ func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifact
 
 // launchTenant builds one incarnation: fresh kernel and clock, fixtures,
 // and a monitored launch from (possibly shared) artifacts.
-func launchTenant(cfg *Config, app string, withAttackFixtures bool, arts *Artifacts) (*core.Protected, workload.Target, error) {
+func launchTenant(cfg *Config, idx int, app string, withAttackFixtures bool, arts *Artifacts) (*core.Protected, workload.Target, error) {
 	target, err := workload.NewTarget(app)
 	if err != nil {
 		return nil, nil, err
@@ -460,6 +487,14 @@ func launchTenant(cfg *Config, app string, withAttackFixtures bool, arts *Artifa
 	if err != nil {
 		return nil, nil, err
 	}
+	// Telemetry fields go on the per-incarnation copy after the artifact
+	// cache resolves it: they never participate in the shared filter key,
+	// and each incarnation gets a private sink.
+	if cfg.Trace {
+		mcfg.Sink = &obs.BufferSink{}
+	}
+	mcfg.FlightN = cfg.FlightN
+	mcfg.Tenant = idx
 
 	maxSteps := cfg.MaxSteps
 	if maxSteps == 0 {
@@ -512,13 +547,30 @@ func accumulate(res *TenantResult, wl workload.Result, prot *core.Protected) {
 
 // drainMonitor folds the incarnation's monitor-side statistics into the
 // tenant totals (called once per incarnation, after its last guest work).
-func drainMonitor(res *TenantResult, prot *core.Protected) {
+// crashed marks an incarnation that died rather than finished; together
+// with recorded violations it decides whether the incarnation's flight
+// recorder is worth keeping.
+func drainMonitor(res *TenantResult, prot *core.Protected, crashed bool) {
 	mon := prot.Monitor
 	res.CacheHits += mon.CacheHits
 	res.CacheMisses += mon.CacheMisses
 	for _, v := range mon.Violations {
 		res.Violations = append(res.Violations, v.String())
 		res.ViolationMask |= v.Context
+	}
+	if res.Metrics != nil && mon.Metrics != nil {
+		res.Metrics.Merge(mon.Metrics)
+	}
+	if sink, ok := mon.Cfg.Sink.(*obs.BufferSink); ok && sink != nil {
+		// Each incarnation numbers its traps from zero; re-stamp to one
+		// tenant-wide sequence so the merged trace stays totally ordered.
+		for _, ev := range sink.Events {
+			ev.Seq = uint64(len(res.Events))
+			res.Events = append(res.Events, ev)
+		}
+	}
+	if mon.Recorder != nil && mon.Recorder.Len() > 0 && (crashed || len(mon.Violations) > 0) {
+		res.Flight = mon.Recorder.DumpJSONL()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"bastion/internal/core/monitor"
+	"bastion/internal/obs"
 )
 
 // Report aggregates one fleet run: the configuration, the seeded dispatch
@@ -172,6 +173,28 @@ func (r *Report) CompilesPerTenant() float64 {
 	return float64(r.Compiles) / float64(len(r.Results))
 }
 
+// MergedMetrics folds every tenant's metrics registry into one fleet-wide
+// registry. Tenants without a registry (Trace off) contribute nothing; the
+// result is deterministic because Merge and the renderers sort by name.
+func (r *Report) MergedMetrics() *obs.Registry {
+	merged := obs.NewRegistry()
+	for i := range r.Results {
+		if m := r.Results[i].Metrics; m != nil {
+			merged.Merge(m)
+		}
+	}
+	return merged
+}
+
+// TotalEvents counts trace events across tenants (Trace on).
+func (r *Report) TotalEvents() int {
+	n := 0
+	for i := range r.Results {
+		n += len(r.Results[i].Events)
+	}
+	return n
+}
+
 func yn(b bool) string {
 	if b {
 		return "yes"
@@ -243,6 +266,12 @@ func (r *Report) Markdown() string {
 			}
 			fmt.Fprintf(&b, "- tenant %d (%s): %s — %s (%s)\n", t.Index, t.App, a.ID, verdict, a.Reason)
 		}
+	}
+
+	if r.Cfg.Trace {
+		fmt.Fprintf(&b, "\n### Merged metrics (%d trace events)\n\n```\n", r.TotalEvents())
+		b.WriteString(r.MergedMetrics().Render())
+		b.WriteString("```\n")
 	}
 	return b.String()
 }

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func fixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("traps_total").Add(4)
+	hits := uint64(17)
+	r.BindCounter("cache_hits_total", &hits)
+	checks := map[uint32]uint64{10: 2, 9: 1, 288: 3}
+	r.BindCounterMap("checks_total", checks, func(nr uint32) string {
+		return map[uint32]string{9: "mmap", 10: "mprotect", 288: "accept4"}[nr]
+	})
+	h := r.Histogram("trap_cycles", CycleBuckets)
+	for _, v := range []uint64{480, 3810, 5304, 2925, 70000} {
+		h.Observe(v)
+	}
+	d := r.Histogram("unwind_depth", DepthBuckets)
+	for _, v := range []uint64{3, 4, 1, 3} {
+		d.Observe(v)
+	}
+	return r
+}
+
+func TestRegistryRenderGolden(t *testing.T) {
+	checkGolden(t, "metrics.txt.golden", fixtureRegistry().Render())
+}
+
+func TestRegistrySnapshotGolden(t *testing.T) {
+	checkGolden(t, "metrics.json.golden", fixtureRegistry().SnapshotJSON())
+}
+
+func TestRegistryDeterministic(t *testing.T) {
+	a, b := fixtureRegistry(), fixtureRegistry()
+	if a.Render() != b.Render() || a.SnapshotJSON() != b.SnapshotJSON() {
+		t.Fatal("registry rendering not deterministic across identical builds")
+	}
+}
+
+func TestBoundCounterReadsThrough(t *testing.T) {
+	r := NewRegistry()
+	var field uint64
+	c := r.BindCounter("bound", &field)
+	field = 41
+	c.Inc()
+	if field != 42 || c.Value() != 42 {
+		t.Fatalf("bound counter: field=%d value=%d", field, c.Value())
+	}
+	if !strings.Contains(r.Render(), "bound") || !strings.Contains(r.Render(), "42") {
+		t.Fatalf("render missing bound counter:\n%s", r.Render())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []uint64{10, 20})
+	for _, v := range []uint64{5, 10, 11, 20, 21, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 5+10+11+20+21+1000 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	want := []uint64{2, 2, 2} // le10, le20, inf
+	for i, n := range want {
+		if h.buckets[i] != n {
+			t.Fatalf("bucket %d = %d, want %d", i, h.buckets[i], n)
+		}
+	}
+	if got := r.Histogram("h", []uint64{99}); got != h {
+		t.Fatal("Histogram must return the existing histogram for a known name")
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Merge(fixtureRegistry())
+	dst.Merge(fixtureRegistry())
+
+	if got := dst.Counter("traps_total").Value(); got != 8 {
+		t.Fatalf("merged traps_total = %d, want 8", got)
+	}
+	// Bound counter-map rows flatten into plain counters on merge.
+	if got := dst.Counter("checks_total[accept4]").Value(); got != 6 {
+		t.Fatalf("merged checks_total[accept4] = %d, want 6", got)
+	}
+	h := dst.Histogram("trap_cycles", CycleBuckets)
+	if h.Count() != 10 {
+		t.Fatalf("merged hist count = %d, want 10", h.Count())
+	}
+	one := fixtureRegistry().Histogram("trap_cycles", CycleBuckets)
+	if h.Sum() != 2*one.Sum() {
+		t.Fatalf("merged hist sum = %d, want %d", h.Sum(), 2*one.Sum())
+	}
+	// Merge must not disturb the source.
+	src := fixtureRegistry()
+	before := src.SnapshotJSON()
+	NewRegistry().Merge(src)
+	if src.SnapshotJSON() != before {
+		t.Fatal("Merge modified its source registry")
+	}
+}

@@ -14,7 +14,9 @@ import (
 )
 
 // emittingFunc matches function names whose output must be byte-stable.
-var emittingFunc = regexp.MustCompile(`(?i)(markdown|render|report|summary)`)
+// The obs renderers (metric snapshots, flight-recorder dumps, trace
+// exporters) are covered by the snapshot/dump/export stems.
+var emittingFunc = regexp.MustCompile(`(?i)(markdown|render|report|summary|snapshot|dump|export)`)
 
 // emitCalls are the call names that write output directly: fmt's printers
 // and the io.Writer / strings.Builder write methods.

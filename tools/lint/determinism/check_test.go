@@ -93,7 +93,7 @@ func TestIgnoresNonEmittingFunctions(t *testing.T) {
 
 import "fmt"
 
-func debugDump(m map[string]int) {
+func debugTrace(m map[string]int) {
 	for k, v := range m {
 		fmt.Printf("%s=%d\n", k, v)
 	}
@@ -101,6 +101,27 @@ func debugDump(m map[string]int) {
 `)
 	if len(diags) != 0 {
 		t.Fatalf("non-report function flagged: %v", diags)
+	}
+}
+
+// TestFlagsObsRendererStems: the telemetry renderers' naming stems —
+// snapshot, dump, export — are held to the same byte-stability bar as the
+// markdown/report family.
+func TestFlagsObsRendererStems(t *testing.T) {
+	for _, fn := range []string{"SnapshotJSON", "DumpJSONL", "exportTrace"} {
+		src := `package p
+
+import "fmt"
+
+func ` + fn + `(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`
+		if diags := checkSource(t, src); len(diags) != 1 {
+			t.Errorf("%s: want 1 diagnostic, got %d: %v", fn, len(diags), diags)
+		}
 	}
 }
 

@@ -6,9 +6,10 @@
 // Usage:
 //
 //	bastion-fleet [-tenants N] [-app nginx,sqlite,vsftpd] [-units N]
-//	              [-mode full|fetch-only|hook-only] [-restarts N] [-seed N]
+//	              [-mode full|fetch-only|hook-only] [-contexts ct,ai]
+//	              [-restarts N] [-seed N]
 //	              [-det] [-workers N] [-share=false] [-cache] [-extendfs]
-//	              [-tree] [-malicious IDX] [-attack ID] [-md]
+//	              [-offload] [-tree] [-malicious IDX] [-attack ID] [-md]
 //	              [-trace out.jsonl] [-trace-format jsonl|chrome]
 //	              [-metrics out.txt] [-flight N]
 //
@@ -56,6 +57,7 @@ func main() {
 	appList := flag.String("app", "nginx,sqlite,vsftpd", "comma-separated workloads, assigned round-robin by tenant index")
 	units := flag.Int("units", 20, "work units per tenant")
 	modeStr := flag.String("mode", "full", "monitor mode: full | fetch-only | hook-only")
+	ctxFlag := flag.String("contexts", "all", "enabled contexts: all | ct | ct,ai | ct,cf | ct,cf,ai")
 	restarts := flag.Int("restarts", 3, "max restarts per tenant before it is declared dead")
 	seed := flag.Int64("seed", 0, "tenant-interleaving schedule seed")
 	det := flag.Bool("det", false, "deterministic mode: run tenants serially in schedule order")
@@ -63,6 +65,7 @@ func main() {
 	share := flag.Bool("share", true, "compile artifacts once per app and share across tenants")
 	cache := flag.Bool("cache", true, "enable the monitor verdict cache")
 	extendFS := flag.Bool("extendfs", false, "extend protection to file-system syscalls (Table 7)")
+	offload := flag.Bool("offload", false, "answer in-filter-decidable verdicts inside the seccomp program (requires -extendfs, full mode, no control-flow context)")
 	tree := flag.Bool("tree", false, "binary-search seccomp filter compilation")
 	malicious := flag.Int("malicious", -1, "tenant index to inject an attack into (-1 = none)")
 	attackID := flag.String("attack", "", "attack scenario ID for -malicious (must match the tenant's app)")
@@ -94,6 +97,21 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	var ctxMask monitor.Context
+	useCtx := false
+	switch strings.ToLower(strings.ReplaceAll(*ctxFlag, " ", "")) {
+	case "all", "ct,cf,ai":
+	case "ct":
+		ctxMask, useCtx = monitor.CallType, true
+	case "ct,ai":
+		// The verdict-offload shape: no control-flow context, so
+		// in-filter-decidable syscalls never trap.
+		ctxMask, useCtx = monitor.CallType|monitor.ArgIntegrity, true
+	case "ct,cf":
+		ctxMask, useCtx = monitor.CallType|monitor.ControlFlow, true
+	default:
+		fail("-contexts must be all / ct / ct,ai / ct,cf / ct,cf,ai, got %q", *ctxFlag)
+	}
 	apps := splitApps(*appList)
 	if len(apps) == 0 {
 		fail("-app must name at least one workload")
@@ -113,7 +131,10 @@ func main() {
 		Apps:           apps,
 		Units:          *units,
 		Mode:           mode,
+		Contexts:       ctxMask,
+		UseContexts:    useCtx,
 		ExtendFS:       *extendFS,
+		Offload:        *offload,
 		VerdictCache:   *cache,
 		TreeFilter:     *tree,
 		ShareArtifacts: *share,

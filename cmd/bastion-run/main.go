@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bastion-run -app nginx -units 200 [-contexts ct,cf,ai] [-unprotected]
-//	            [-extend-fs] [-no-accept-fastpath]
+//	            [-extend-fs] [-offload] [-no-accept-fastpath]
 //	            [-trace out.jsonl] [-trace-format jsonl|chrome]
 //	            [-metrics out.txt] [-flight N]
 package main
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"bastion/internal/bench"
+	"bastion/internal/core/monitor"
 	"bastion/internal/obs"
 )
 
@@ -26,6 +27,7 @@ func main() {
 	ctxFlag := flag.String("contexts", "ct,cf,ai", "enabled contexts (comma list of ct,cf,ai)")
 	unprotected := flag.Bool("unprotected", false, "run without BASTION")
 	extendFS := flag.Bool("extend-fs", false, "also protect file-system syscalls (§11.2)")
+	offload := flag.Bool("offload", false, "answer in-filter-decidable verdicts inside the seccomp program (needs -extend-fs and a context set without cf)")
 	noFast := flag.Bool("no-accept-fastpath", false, "disable the accept/accept4 fast path")
 	showMaps := flag.Bool("maps", false, "print the final process memory map")
 	traceOut := flag.String("trace", "", "write the per-trap decision trace to this file")
@@ -38,6 +40,7 @@ func main() {
 		App:                   *app,
 		Units:                 *units,
 		ExtendFS:              *extendFS,
+		Offload:               *offload,
 		DisableAcceptFastPath: *noFast,
 	}
 	if *unprotected {
@@ -50,8 +53,14 @@ func main() {
 			spec.Mitigation = bench.MitCETCTCF
 		case "ct,cf,ai":
 			spec.Mitigation = bench.MitFull
+		case "ct,ai":
+			// The verdict-offload shape: no control-flow context, so
+			// in-filter-decidable syscalls never trap.
+			spec.Mitigation = bench.MitFull
+			spec.UseContexts = true
+			spec.Contexts = monitor.CallType | monitor.ArgIntegrity
 		default:
-			fmt.Fprintf(os.Stderr, "bastion-run: contexts must be ct / ct,cf / ct,cf,ai\n")
+			fmt.Fprintf(os.Stderr, "bastion-run: contexts must be ct / ct,cf / ct,ai / ct,cf,ai\n")
 			os.Exit(2)
 		}
 	}

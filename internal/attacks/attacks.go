@@ -44,6 +44,14 @@ type Defense struct {
 	// AllowedIndirect sets; the refinement replay suite asserts verdicts
 	// are byte-identical either way.
 	CoarsePolicies bool
+	// ExtendFS traps the file-system syscall set as well — the §11.2
+	// extension; the offload differential suite sweeps it so the offloaded
+	// syscall set is non-trivial.
+	ExtendFS bool
+	// Offload answers CT-membership and constant-argument verdicts inside
+	// the seccomp filter (monitor.Config.Offload); the offload differential
+	// suite asserts verdicts are byte-identical with it on and off.
+	Offload bool
 	// Sink receives the monitor's decision trace. Telemetry never charges
 	// cycles, so the traced replay suite asserts verdicts are identical
 	// with and without it.
@@ -320,6 +328,8 @@ func Launch(app string, d Defense) (*Env, error) {
 		cfg.Mode = d.Mode
 		cfg.VerdictCache = d.VerdictCache
 		cfg.CoarsePolicies = d.CoarsePolicies
+		cfg.ExtendFS = d.ExtendFS
+		cfg.Offload = d.Offload
 		cfg.Sink = d.Sink
 		cfg.FlightN = d.FlightN
 		prot, err = core.Launch(art, k, cfg, vmOpts...)

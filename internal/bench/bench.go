@@ -125,6 +125,14 @@ type RunSpec struct {
 	// CoarsePolicies enforces the pre-refinement AllowedIndirect sets
 	// (the points-to refinement ablation).
 	CoarsePolicies bool
+	// Offload answers in-filter-decidable verdicts inside the seccomp
+	// program (the verdict-offload ablation).
+	Offload bool
+	// Contexts overrides the mitigation's context mask when UseContexts is
+	// set — the offload ablation needs call-type + argument-integrity
+	// without control-flow, a combination no Mitigation level selects.
+	Contexts    monitor.Context
+	UseContexts bool
 	// Artifacts selects the shared compilation cache backing the run
 	// (nil = the package-wide cache). Supply a fresh fleet.NewArtifacts()
 	// to measure compilation dedup in isolation.
@@ -179,7 +187,11 @@ func Run(spec RunSpec) (*RunResult, error) {
 	}
 
 	res := &RunResult{Spec: spec, Target: target}
-	if ctx := spec.Mitigation.contexts(); ctx != 0 {
+	ctx := spec.Mitigation.contexts()
+	if spec.UseContexts {
+		ctx = spec.Contexts
+	}
+	if ctx != 0 {
 		art, err := arts.Compiled(spec.App)
 		if err != nil {
 			return nil, err
@@ -193,6 +205,7 @@ func Run(spec RunSpec) (*RunResult, error) {
 		cfg.TreeFilter = spec.TreeFilter
 		cfg.VerdictCache = spec.VerdictCache
 		cfg.CoarsePolicies = spec.CoarsePolicies
+		cfg.Offload = spec.Offload
 		cfg, err = arts.Config(spec.App, cfg)
 		if err != nil {
 			return nil, err

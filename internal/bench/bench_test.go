@@ -259,7 +259,7 @@ func TestReportMarkdown(t *testing.T) {
 	for _, want := range []string{
 		"## Figure 3", "## Table 3", "## Table 4", "## Table 5",
 		"## Table 6", "## Table 7", "## Seccomp filter ablation",
-		"## Verdict cache ablation",
+		"## Verdict cache ablation", "## Verdict offload ablation",
 		"accept4 fast path", "in-kernel monitor",
 		"| rop-exec-01 |", "| **total monitor hook** |",
 	} {
@@ -325,6 +325,51 @@ func TestCacheAblation(t *testing.T) {
 		}
 		t.Logf("%s: mon cyc/unit %.1f -> %.1f, hit rate %.1f%%",
 			app, res.OffMonPerUnit, res.OnMonPerUnit, res.HitRate()*100)
+	}
+}
+
+// TestOffloadAblation is the acceptance bar for the verdict offload: on
+// the fs-extension CT+AI workloads, in-filter decisions must avoid traps
+// (avoided > 0) with strictly lower monitor cycles per unit and no change
+// in detection (zero violations on either side of every run).
+func TestOffloadAblation(t *testing.T) {
+	var rows []*OffloadAblationResult
+	for _, app := range Apps {
+		res, err := OffloadAblation(app, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, res)
+		if res.OffViolations != 0 || res.OnViolations != 0 {
+			t.Errorf("%s: benign workload flagged: off=%d on=%d",
+				app, res.OffViolations, res.OnViolations)
+		}
+		if res.Avoided == 0 {
+			t.Fatalf("%s: offload avoided no traps on an fs-extension workload", app)
+		}
+		if res.OffloadedNrs == 0 {
+			t.Fatalf("%s: empty offload plan under the qualifying config", app)
+		}
+		if res.OnTraps >= res.OffTraps {
+			t.Errorf("%s: offload-on traps %d not below offload-off %d",
+				app, res.OnTraps, res.OffTraps)
+		}
+		if res.OnMonPerUnit >= res.OffMonPerUnit {
+			t.Errorf("%s: offload-on monitor cycles/unit %.1f not below offload-off %.1f",
+				app, res.OnMonPerUnit, res.OffMonPerUnit)
+		}
+		if res.CyclesSavedPerUnit() <= 0 {
+			t.Errorf("%s: non-positive cycles saved per unit: %.1f", app, res.CyclesSavedPerUnit())
+		}
+		t.Logf("%s: traps %d -> %d (%d avoided, %d nrs), mon cyc/unit %.1f -> %.1f",
+			app, res.OffTraps, res.OnTraps, res.Avoided, res.OffloadedNrs,
+			res.OffMonPerUnit, res.OnMonPerUnit)
+	}
+	out := RenderOffloadAblation(rows)
+	for _, app := range Apps {
+		if !strings.Contains(out, app) {
+			t.Errorf("render missing app %s:\n%s", app, out)
+		}
 	}
 }
 

@@ -606,6 +606,94 @@ func RenderCacheAblation(rows []*CacheAblationResult) string {
 	return b.String()
 }
 
+// --- Ablation: in-filter verdict offload ---
+
+// OffloadAblationResult compares full-mode protection with the verdict
+// offload off and on for one application. The configuration is call-type +
+// argument-integrity with the file-system extension — the "CT/const-AI
+// only" shape where every extension syscall's verdict is decidable from
+// seccomp_data, so the offload's trap savings are maximal. (Control flow
+// disqualifies offload by construction: the CF context judges the whole
+// unwound stack.)
+type OffloadAblationResult struct {
+	App string
+	// OffOverhead / OnOverhead are throughput overheads vs vanilla.
+	OffOverhead float64
+	OnOverhead  float64
+	// OffMonPerUnit / OnMonPerUnit are modeled monitor cycles per work
+	// unit; the offload must strictly lower this on trap-heavy workloads.
+	OffMonPerUnit float64
+	OnMonPerUnit  float64
+	// OffTraps / OnTraps are monitor stops (SECCOMP_RET_TRACE) taken;
+	// Avoided counts in-filter RET_LOG allows — traps the pure-monitor
+	// filter would have taken.
+	OffTraps uint64
+	OnTraps  uint64
+	Avoided  uint64
+	// OffloadedNrs is how many syscalls the plan answered in-filter.
+	OffloadedNrs int
+	// Both must be zero on the benign workload; the offload differential
+	// suite proves verdict equivalence in general.
+	OffViolations int
+	OnViolations  int
+}
+
+// CyclesSavedPerUnit is the per-unit monitor-cycle saving.
+func (r *OffloadAblationResult) CyclesSavedPerUnit() float64 {
+	return r.OffMonPerUnit - r.OnMonPerUnit
+}
+
+// OffloadAblation measures the verdict-offload ablation for one
+// application.
+func OffloadAblation(app string, units int) (*OffloadAblationResult, error) {
+	base, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	spec := RunSpec{
+		App: app, Mitigation: MitFull, Units: units, ExtendFS: true,
+		UseContexts: true, Contexts: monitor.CallType | monitor.ArgIntegrity,
+	}
+	off, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.Offload = true
+	on, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	mon := on.Protected.Monitor
+	return &OffloadAblationResult{
+		App:           app,
+		OffOverhead:   Overhead(base, off),
+		OnOverhead:    Overhead(base, on),
+		OffMonPerUnit: off.Workload.PerUnitMonitor(),
+		OnMonPerUnit:  on.Workload.PerUnitMonitor(),
+		OffTraps:      off.Workload.Traps,
+		OnTraps:       on.Workload.Traps,
+		Avoided:       mon.OffloadAvoided(),
+		OffloadedNrs:  len(mon.Offload.Rules),
+		OffViolations: len(off.Protected.Monitor.Violations),
+		OnViolations:  len(on.Protected.Monitor.Violations),
+	}, nil
+}
+
+// RenderOffloadAblation formats the offload ablation rows.
+func RenderOffloadAblation(rows []*OffloadAblationResult) string {
+	var b strings.Builder
+	b.WriteString("Verdict offload ablation: CT+AI, fs extension (in-filter decisions vs monitor traps)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %8s %16s %16s %13s %13s\n", "app",
+		"off traps", "on traps", "avoided", "nrs",
+		"off mon cyc/unit", "on mon cyc/unit", "off ovh %", "on ovh %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10d %10d %10d %8d %16.0f %16.0f %13.2f %13.2f\n", r.App,
+			r.OffTraps, r.OnTraps, r.Avoided, r.OffloadedNrs,
+			r.OffMonPerUnit, r.OnMonPerUnit, r.OffOverhead, r.OnOverhead)
+	}
+	return b.String()
+}
+
 // RefineAblationResult compares monitor behaviour under the coarse
 // address-taken AllowedIndirect sets against the points-to–refined sets
 // for one application, alongside the static policy-size deltas.

@@ -24,6 +24,7 @@ type Report struct {
 	InK     []*InKernelResult
 	Filter  []*FilterAblationResult
 	Cache   []*CacheAblationResult
+	Offload []*OffloadAblationResult
 	Refine  []*RefineAblationResult
 	Obs     []*ObsAblationResult
 	Fleet   *FleetScalingResult
@@ -57,13 +58,14 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 		workers = runtime.NumCPU()
 	}
 	r := &Report{
-		Units:  units,
-		Init:   make([]*InitDepthStats, len(Apps)),
-		InK:    make([]*InKernelResult, len(Apps)),
-		Filter: make([]*FilterAblationResult, len(Apps)),
-		Cache:  make([]*CacheAblationResult, len(Apps)),
-		Refine: make([]*RefineAblationResult, len(Apps)),
-		Obs:    make([]*ObsAblationResult, len(Apps)),
+		Units:   units,
+		Init:    make([]*InitDepthStats, len(Apps)),
+		InK:     make([]*InKernelResult, len(Apps)),
+		Filter:  make([]*FilterAblationResult, len(Apps)),
+		Cache:   make([]*CacheAblationResult, len(Apps)),
+		Offload: make([]*OffloadAblationResult, len(Apps)),
+		Refine:  make([]*RefineAblationResult, len(Apps)),
+		Obs:     make([]*ObsAblationResult, len(Apps)),
 	}
 	type task struct {
 		name string
@@ -86,6 +88,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 			task{"in-kernel " + app, func() (err error) { r.InK[i], err = InKernelAblation(app, units); return }},
 			task{"filter ablation " + app, func() (err error) { r.Filter[i], err = FilterAblation(app, units); return }},
 			task{"cache ablation " + app, func() (err error) { r.Cache[i], err = CacheAblation(app, units); return }},
+			task{"offload ablation " + app, func() (err error) { r.Offload[i], err = OffloadAblation(app, units); return }},
 			task{"refine ablation " + app, func() (err error) { r.Refine[i], err = RefineAblation(app, units); return }},
 			task{"obs ablation " + app, func() (err error) { r.Obs[i], err = ObsAblation(app, units); return }},
 		)
@@ -244,6 +247,16 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.1f%% | %.2f%% | %.2f%% |\n", cr.App,
 			cr.OffMonPerUnit, cr.OnMonPerUnit, cr.HitRate()*100,
 			cr.OffOverhead, cr.OnOverhead)
+	}
+
+	b.WriteString("\n## Verdict offload ablation — CT + const-arg checks answered in-filter\n\n")
+	b.WriteString("Full mode with call-type and argument-integrity contexts (no control-flow) and the fs extension, with the verdict offload off vs on. Offloaded syscalls are decided inside the seccomp program from the syscall number and literal argument registers and never trap to the monitor; everything else falls through to RET_TRACE and the residual monitor unchanged.\n\n")
+	b.WriteString("| app | off traps | on traps | avoided | offloaded nrs | off mon cyc/unit | on mon cyc/unit | off overhead | on overhead |\n|---|---|---|---|---|---|---|---|---|\n")
+	for _, or := range r.Offload {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %.0f | %.0f | %.2f%% | %.2f%% |\n", or.App,
+			or.OffTraps, or.OnTraps, or.Avoided, or.OffloadedNrs,
+			or.OffMonPerUnit, or.OnMonPerUnit,
+			or.OffOverhead, or.OnOverhead)
 	}
 
 	b.WriteString("\n## Points-to refinement ablation — coarse vs refined indirect-call policies\n\n")

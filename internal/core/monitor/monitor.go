@@ -134,6 +134,15 @@ type Config struct {
 	// linear comparison chain, dropping per-hook filter cost from O(n) to
 	// O(log n) BPF instructions.
 	TreeFilter bool
+	// Offload lowers verdicts decidable from seccomp_data alone — call-type
+	// membership plus constant-argument equality — into the filter program
+	// itself, so qualifying syscalls are allowed in-filter
+	// (SECCOMP_RET_LOG) and never trap; everything else falls through to
+	// SECCOMP_RET_TRACE and the residual monitor. See DeriveOffload for the
+	// exact qualification rules (ModeFull only, control-flow disabled,
+	// non-sensitive ExtendFS syscalls with uniform register-constant
+	// argument sites).
+	Offload bool
 	// VerdictCache memoizes the trace-dependent verdicts (CT, CF, and the
 	// constant-argument portion of AI) keyed on the syscall number and the
 	// unwound stack trace; memory-backed and pointee arguments are always
@@ -228,6 +237,13 @@ type Monitor struct {
 	CacheInserts   uint64
 	CacheEvictions uint64
 
+	// Offload is the in-filter verdict plan derived at attach time (empty
+	// unless Config.Offload qualified anything). Syscalls it covers are
+	// decided inside the seccomp program and never reach Trap; the kernel's
+	// per-nr RET_LOG counts are the avoided-trap ground truth, bound into
+	// Metrics as monitor_offload_avoided_total.
+	Offload *OffloadPlan
+
 	// Metrics is the monitor's telemetry registry. The exported counter
 	// fields above remain the single storage — the registry renders
 	// through bound pointers — and the registry additionally owns the
@@ -289,6 +305,7 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 		Cfg:        cfg,
 		proc:       proc,
 		ChecksByNr: map[uint32]uint64{},
+		Offload:    DeriveOffload(meta, cfg),
 	}
 	if cfg.VerdictCache {
 		m.cache = newVerdictCache(cfg.VerdictCacheCap)
@@ -337,6 +354,11 @@ func (m *Monitor) initTelemetry() {
 	r.BindCounter("monitor_cache_inserts_total", &m.CacheInserts)
 	r.BindCounter("monitor_cache_evictions_total", &m.CacheEvictions)
 	r.BindCounterMap("monitor_checks_total", m.ChecksByNr, kernel.Name)
+	if m.proc != nil {
+		// The kernel counts RET_LOG allows per syscall; with offload active
+		// each one is a trap the pure-monitor filter would have taken.
+		r.BindCounterMap("monitor_offload_avoided_total", m.proc.LogVerdicts, kernel.Name)
+	}
 	m.violCounter = r.Counter("monitor_violations_total")
 	m.cycFetch = r.Counter("monitor_cycles_fetch_total")
 	m.cycUnwind = r.Counter("monitor_cycles_unwind_total")
@@ -357,11 +379,24 @@ func (m *Monitor) initTelemetry() {
 
 // BuildFilter compiles call-type metadata into the seccomp program:
 // SECCOMP_RET_KILL for not-callable syscalls, SECCOMP_RET_TRACE for
-// protected callable ones, SECCOMP_RET_ALLOW otherwise (§7.1). Only the
-// filter-relevant parts of cfg matter (Mode, Contexts, ExtendFS,
-// TreeFilter); the result may be shared immutably across monitors via
-// Config.Filter.
+// protected callable ones, SECCOMP_RET_ALLOW otherwise (§7.1). With
+// Config.Offload, syscalls the offload plan covers are answered in-filter
+// instead of trapping (see DeriveOffload). Only the filter-relevant parts
+// of cfg matter (Mode, Contexts, ExtendFS, TreeFilter, Offload); the
+// result may be shared immutably across monitors via Config.Filter.
 func BuildFilter(meta *metadata.Metadata, cfg Config) ([]seccomp.Insn, error) {
+	pol := BuildPolicy(meta, cfg)
+	if cfg.TreeFilter {
+		return pol.CompileTree()
+	}
+	return pol.Compile()
+}
+
+// BuildPolicy derives the seccomp policy BuildFilter compiles, exposed so
+// tests can assert policy-level properties — in particular that the
+// offloaded rule set and the residual trace set partition the pure-monitor
+// trace set exactly.
+func BuildPolicy(meta *metadata.Metadata, cfg Config) *seccomp.Policy {
 	pol := &seccomp.Policy{
 		Default:   seccomp.RetAllow,
 		Actions:   map[uint32]uint32{},
@@ -400,10 +435,18 @@ func BuildFilter(meta *metadata.Metadata, cfg Config) ([]seccomp.Insn, error) {
 			}
 		}
 	}
-	if cfg.TreeFilter {
-		return pol.CompileTree()
+	// Verdict offload: replace the trace action with the in-filter decision
+	// for every syscall the plan covers. The plan only ever covers syscalls
+	// that currently carry traceAction, so this is a pure subtraction from
+	// the trapped set — never from the kill set.
+	if plan := DeriveOffload(meta, cfg); len(plan.Rules) > 0 {
+		pol.ArgRules = map[uint32]seccomp.ArgRule{}
+		for nr, rule := range plan.Rules {
+			delete(pol.Actions, nr)
+			pol.ArgRules[nr] = rule
+		}
 	}
-	return pol.Compile()
+	return pol
 }
 
 // Trap implements kernel.Tracer: the monitor's per-syscall enforcement.
@@ -701,6 +744,20 @@ func (m *Monitor) flag(v Violation) error {
 		return nil
 	}
 	return &vm.KillError{By: "monitor", Reason: v.String()}
+}
+
+// OffloadAvoided reports how many traps the in-filter verdict offload
+// answered without stopping the tracee (total RET_LOG allows the kernel
+// counted). Zero when offload is off or nothing qualified.
+func (m *Monitor) OffloadAvoided() uint64 {
+	if m.proc == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range m.proc.LogVerdicts {
+		n += c
+	}
+	return n
 }
 
 // ViolatedContexts returns the union of violated contexts recorded so far.
@@ -1233,6 +1290,13 @@ func (m *Monitor) Report() string {
 			reg.Counter("monitor_cache_inserts_total").Value(),
 			reg.Counter("monitor_cache_evictions_total").Value(),
 			m.cache.resident(), m.Cfg.VerdictCacheCap)
+	}
+	if m.Offload != nil && len(m.Offload.Rules) > 0 {
+		fmt.Fprintf(&b, "  verdict offload: %d syscalls in-filter, %d traps avoided\n",
+			len(m.Offload.Rules), m.OffloadAvoided())
+		for _, row := range reg.CounterMapRows("monitor_offload_avoided_total") {
+			fmt.Fprintf(&b, "  %-18s %d traps avoided\n", row.Label, row.Value)
+		}
 	}
 	for _, row := range reg.CounterMapRows("monitor_checks_total") {
 		fmt.Fprintf(&b, "  %-18s %d checks\n", row.Label, row.Value)

@@ -56,6 +56,7 @@ type filterKey struct {
 	contexts   monitor.Context
 	extendFS   bool
 	treeFilter bool
+	offload    bool
 }
 
 type filterEntry struct {
@@ -139,6 +140,7 @@ func (a *Artifacts) Config(app string, cfg monitor.Config) (monitor.Config, erro
 		contexts:   cfg.Contexts,
 		extendFS:   cfg.ExtendFS,
 		treeFilter: cfg.TreeFilter,
+		offload:    cfg.Offload,
 	}
 	a.mu.Lock()
 	e := a.filters[key]

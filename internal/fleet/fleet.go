@@ -41,12 +41,16 @@ type Config struct {
 	// with UseContexts=false; set UseContexts to enforce an explicit mask.
 	Contexts    monitor.Context
 	UseContexts bool
-	// Mode, ExtendFS, VerdictCache, and TreeFilter select the monitor
-	// configuration every tenant runs under.
+	// Mode, ExtendFS, VerdictCache, TreeFilter, and Offload select the
+	// monitor configuration every tenant runs under.
 	Mode         monitor.Mode
 	ExtendFS     bool
 	VerdictCache bool
 	TreeFilter   bool
+	// Offload answers call-type and constant-argument verdicts inside the
+	// shared seccomp filter (monitor.Config.Offload); qualifying syscalls
+	// never trap.
+	Offload bool
 
 	// ShareArtifacts compiles each workload's program, metadata, and
 	// seccomp filter once and shares them across tenants. When false,
@@ -195,6 +199,10 @@ type TenantResult struct {
 	// Verdict-cache statistics, summed across incarnations.
 	CacheHits   uint64
 	CacheMisses uint64
+
+	// OffloadAvoided counts traps the in-filter verdict offload answered
+	// without stopping the guest, summed across incarnations.
+	OffloadAvoided uint64
 
 	// Violations are the monitor's recorded context violations, in order;
 	// ViolationMask is their context union.
@@ -483,6 +491,7 @@ func launchTenant(cfg *Config, idx int, app string, withAttackFixtures bool, art
 	mcfg.ExtendFS = cfg.ExtendFS
 	mcfg.TreeFilter = cfg.TreeFilter
 	mcfg.VerdictCache = cfg.VerdictCache
+	mcfg.Offload = cfg.Offload
 	mcfg, err = arts.Config(app, mcfg)
 	if err != nil {
 		return nil, nil, err
@@ -554,6 +563,7 @@ func drainMonitor(res *TenantResult, prot *core.Protected, crashed bool) {
 	mon := prot.Monitor
 	res.CacheHits += mon.CacheHits
 	res.CacheMisses += mon.CacheMisses
+	res.OffloadAvoided += mon.OffloadAvoided()
 	for _, v := range mon.Violations {
 		res.Violations = append(res.Violations, v.String())
 		res.ViolationMask |= v.Context

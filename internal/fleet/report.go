@@ -106,6 +106,16 @@ func (r *Report) MonitorCyclesPerUnit() float64 {
 	return float64(mon) / float64(units)
 }
 
+// OffloadAvoided sums traps answered in-filter by the verdict offload
+// across tenants.
+func (r *Report) OffloadAvoided() uint64 {
+	var n uint64
+	for i := range r.Results {
+		n += r.Results[i].OffloadAvoided
+	}
+	return n
+}
+
 // CacheHitRate is the fleet-wide verdict-cache hit rate.
 func (r *Report) CacheHitRate() float64 {
 	var hits, misses uint64
@@ -208,9 +218,9 @@ func (r *Report) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "## Fleet report: %d tenants × %d units (%s)\n\n",
 		r.Cfg.Tenants, r.Cfg.Units, strings.Join(r.Cfg.Apps, ","))
-	fmt.Fprintf(&b, "Mode %s, contexts %s, cache %s, tree filter %s, shared artifacts %s, seed %d.\n",
+	fmt.Fprintf(&b, "Mode %s, contexts %s, cache %s, tree filter %s, offload %s, shared artifacts %s, seed %d.\n",
 		r.Cfg.Mode, r.Cfg.contexts(), yn(r.Cfg.VerdictCache), yn(r.Cfg.TreeFilter),
-		yn(r.Cfg.ShareArtifacts), r.Cfg.Seed)
+		yn(r.Cfg.Offload), yn(r.Cfg.ShareArtifacts), r.Cfg.Seed)
 	fmt.Fprintf(&b, "Dispatch schedule: %v\n\n", r.Schedule)
 
 	b.WriteString("| tenant | app | units | restarts | kills | faults | dead | mon cyc/unit | cache hit | violations | backoff cyc |\n")
@@ -231,6 +241,9 @@ func (r *Report) Markdown() string {
 
 	fmt.Fprintf(&b, "\nFleet: %d units, %.0f units/s, %.0f monitor cyc/unit, cache hit %.2f.\n",
 		r.TotalUnits(), r.Throughput(), r.MonitorCyclesPerUnit(), r.CacheHitRate())
+	if r.Cfg.Offload {
+		fmt.Fprintf(&b, "Verdict offload: %d traps avoided in-filter.\n", r.OffloadAvoided())
+	}
 	fmt.Fprintf(&b, "Failures: %d restarts, %d kills, %d faults, %d dead tenants.\n",
 		r.Restarts(), r.Kills(), r.Faults(), r.Dead())
 	fmt.Fprintf(&b, "Setup: %d program compiles (%.2f/tenant), %d filter compiles, %.0f attach cyc/tenant.\n",

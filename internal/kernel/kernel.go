@@ -155,6 +155,12 @@ type Process struct {
 	CompletedCounts map[uint32]uint64
 	// TrapCount counts monitor hooks (SECCOMP_RET_TRACE stops).
 	TrapCount uint64
+	// LogVerdicts counts SECCOMP_RET_LOG allows by syscall number. The
+	// verdict-offload compiler emits LOG (not plain ALLOW) for decisions it
+	// answers in-filter, so this map is the kernel-side ground truth for
+	// "traps avoided": each entry would have been a RET_TRACE stop under
+	// the pure-monitor filter.
+	LogVerdicts map[uint32]uint64
 	// MonitorCycles accumulates cycles spent inside monitor traps
 	// (round-trip, ptrace fetches, checks) — the serialized portion the
 	// bench's multi-worker model queues on.
@@ -207,6 +213,7 @@ func (k *Kernel) Register(m *vm.Machine) *Process {
 		mmapCursor:      0x7f00_0000_0000,
 		SyscallCounts:   map[uint32]uint64{},
 		CompletedCounts: map[uint32]uint64{},
+		LogVerdicts:     map[uint32]uint64{},
 	}
 	k.nextPID++
 	k.procs[m] = p
@@ -327,8 +334,11 @@ func (k *Kernel) Syscall(m *vm.Machine) (int64, error) {
 		p.FilterSteps += uint64(steps)
 		k.Clock.Add(k.Costs.BPFInsn * uint64(steps))
 		switch action & seccomp.RetActionMask {
-		case seccomp.RetAllow, seccomp.RetLog:
+		case seccomp.RetAllow:
 			// proceed
+		case seccomp.RetLog:
+			// proceed, but audit-log the in-filter verdict
+			p.LogVerdicts[nr]++
 		case seccomp.RetErrno:
 			return -int64(action & seccomp.RetDataMask), nil
 		case seccomp.RetKill, seccomp.RetTrap:

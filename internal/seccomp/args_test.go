@@ -1,0 +1,260 @@
+package seccomp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// compileBoth compiles the policy with both the linear and tree compilers.
+func compileBoth(t *testing.T, p *Policy) (lin, tree []Insn) {
+	t.Helper()
+	lin, err := p.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tree, err = p.CompileTree()
+	if err != nil {
+		t.Fatalf("CompileTree: %v", err)
+	}
+	return lin, tree
+}
+
+func runAction(t *testing.T, prog []Insn, d *Data) uint32 {
+	t.Helper()
+	got, _, err := Run(prog, d)
+	if err != nil {
+		t.Fatalf("Run(nr=%d): %v", d.Nr, err)
+	}
+	return got
+}
+
+func TestArgRuleCompileAndRun(t *testing.T) {
+	p := &Policy{
+		Default: RetAllow,
+		Actions: map[uint32]uint32{59: RetTrace},
+		ArgRules: map[uint32]ArgRule{
+			// close(fd=3) allowed in-filter, anything else falls through.
+			3: {Matches: []ArgMatch{{Pos: 0, Val: 3}}, Match: RetLog, Else: RetTrace},
+			// two-argument conjunction
+			13: {Matches: []ArgMatch{{Pos: 0, Val: 1}, {Pos: 2, Val: 8}}, Match: RetLog, Else: RetTrace},
+			// empty match list degenerates to an unconditional action
+			16: {Match: RetLog, Else: RetTrace},
+		},
+		CheckArch: true,
+	}
+	lin, tree := compileBoth(t, p)
+	cases := []struct {
+		nr   uint32
+		args [6]uint64
+		want uint32
+	}{
+		{3, [6]uint64{3}, RetLog},
+		{3, [6]uint64{4}, RetTrace},
+		{13, [6]uint64{1, 0, 8}, RetLog},
+		{13, [6]uint64{1, 0, 9}, RetTrace},
+		{13, [6]uint64{2, 0, 8}, RetTrace},
+		{16, [6]uint64{99, 99, 99}, RetLog},
+		{59, [6]uint64{}, RetTrace},
+		{2, [6]uint64{}, RetAllow},
+	}
+	for _, prog := range [][]Insn{lin, tree} {
+		for _, tc := range cases {
+			d := &Data{Nr: tc.nr, Arch: AuditArchX86_64, Args: tc.args}
+			if got := runAction(t, prog, d); got != tc.want {
+				t.Errorf("nr %d args %v: action %s, want %s",
+					tc.nr, tc.args, ActionName(got), ActionName(tc.want))
+			}
+		}
+	}
+}
+
+// Regression for the 64-bit truncation bug class: constants whose low
+// 32 bits collide must still be distinguished by the high word, and
+// negative sentinels (-1 fds) must match only the full-width value.
+func TestArgRuleHighWordRegression(t *testing.T) {
+	const sentinel = 0xffff_ffff_ffff_ffff // int64(-1) as a uint64
+	p := &Policy{
+		Default: RetAllow,
+		ArgRules: map[uint32]ArgRule{
+			9:  {Matches: []ArgMatch{{Pos: 4, Val: sentinel}}, Match: RetLog, Else: RetTrace},
+			42: {Matches: []ArgMatch{{Pos: 1, Val: 0x1_0000_0005}}, Match: RetLog, Else: RetTrace},
+		},
+		CheckArch: true,
+	}
+	lin, tree := compileBoth(t, p)
+	cases := []struct {
+		nr   uint32
+		args [6]uint64
+		want uint32
+	}{
+		// -1 must not be matched by its low-word twin 0x00000000ffffffff.
+		{9, [6]uint64{0, 0, 0, 0, sentinel}, RetLog},
+		{9, [6]uint64{0, 0, 0, 0, 0x0000_0000_ffff_ffff}, RetTrace},
+		{9, [6]uint64{0, 0, 0, 0, 0xffff_ffff_0000_0000}, RetTrace},
+		// High-word-differing pair sharing the low word 5.
+		{42, [6]uint64{0, 0x1_0000_0005}, RetLog},
+		{42, [6]uint64{0, 0x0000_0005}, RetTrace},
+		{42, [6]uint64{0, 0x2_0000_0005}, RetTrace},
+	}
+	for _, prog := range [][]Insn{lin, tree} {
+		for _, tc := range cases {
+			d := &Data{Nr: tc.nr, Arch: AuditArchX86_64, Args: tc.args}
+			if got := runAction(t, prog, d); got != tc.want {
+				t.Errorf("nr %d args %#x: action %s, want %s",
+					tc.nr, tc.args, ActionName(got), ActionName(tc.want))
+			}
+		}
+	}
+}
+
+// Property: linear and tree compilation of a policy with arg rules decide
+// identically for every probe, including mismatching argument vectors.
+func TestArgRuleTreeEquivalence(t *testing.T) {
+	f := func(rules map[uint32]bool, consts map[uint32]uint64, probe uint32, args [6]uint64) bool {
+		p := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, ArgRules: map[uint32]ArgRule{}, CheckArch: true}
+		for nr, trace := range rules {
+			if trace {
+				p.Actions[nr] = RetTrace
+			} else {
+				p.Actions[nr] = RetKill
+			}
+		}
+		for nr, c := range consts {
+			if _, dup := p.Actions[nr]; dup {
+				continue
+			}
+			p.ArgRules[nr] = ArgRule{
+				Matches: []ArgMatch{{Pos: int(nr % 6), Val: c}},
+				Match:   RetLog,
+				Else:    RetTrace,
+			}
+		}
+		lin, err := p.Compile()
+		if err != nil {
+			return false
+		}
+		tree, err := p.CompileTree()
+		if err != nil {
+			return false
+		}
+		data := &Data{Nr: probe, Arch: AuditArchX86_64, Args: args}
+		want, _, err := Run(lin, data)
+		if err != nil {
+			return false
+		}
+		got, _, err := Run(tree, data)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyRuleConflicts(t *testing.T) {
+	dup := &Policy{
+		Default:  RetAllow,
+		Actions:  map[uint32]uint32{3: RetTrace},
+		ArgRules: map[uint32]ArgRule{3: {Match: RetLog, Else: RetTrace}},
+	}
+	if _, err := dup.Compile(); err == nil || !strings.Contains(err.Error(), "both Actions and ArgRules") {
+		t.Fatalf("duplicate nr: err = %v", err)
+	}
+	if _, err := dup.CompileTree(); err == nil {
+		t.Fatal("duplicate nr accepted by CompileTree")
+	}
+	badPos := &Policy{
+		Default:  RetAllow,
+		ArgRules: map[uint32]ArgRule{3: {Matches: []ArgMatch{{Pos: 6, Val: 1}}, Match: RetLog, Else: RetTrace}},
+	}
+	if _, err := badPos.Compile(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("bad position: err = %v", err)
+	}
+}
+
+// A branch offset that lands past the end of an arg-compare chain strands
+// the chain's terminating return; Validate must reject it (fail closed)
+// rather than let the mutation silently change the decision.
+func TestValidateRejectsStrandedArgChain(t *testing.T) {
+	p := &Policy{
+		Default:  RetAllow,
+		ArgRules: map[uint32]ArgRule{7: {Matches: []ArgMatch{{Pos: 0, Val: 42}}, Match: RetLog, Else: RetTrace}},
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(prog); err != nil {
+		t.Fatalf("pristine program rejected: %v", err)
+	}
+	// Layout: [ld nr][jeq 7][ld a0.lo][jeq lo][ld a0.hi][jeq hi][ret LOG][ret TRACE][ret ALLOW]
+	// Push both else-branches one past `ret TRACE`: the chain's else return
+	// becomes unreachable.
+	mut := make([]Insn, len(prog))
+	copy(mut, prog)
+	bumped := 0
+	for i, in := range mut {
+		if in.Code&0x07 == ClsJmp && in.Code&0xf0 == JmpJeq && in.K != 7 && i > 1 {
+			mut[i].Jf++
+			bumped++
+		}
+	}
+	if bumped != 2 {
+		t.Fatalf("expected to mutate 2 arg-compare branches, got %d", bumped)
+	}
+	err = Validate(mut)
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("stranded chain: Validate = %v, want unreachable error", err)
+	}
+}
+
+func TestDisasmSymbolicArgOffsets(t *testing.T) {
+	p := &Policy{
+		Default:   RetAllow,
+		ArgRules:  map[uint32]ArgRule{3: {Matches: []ArgMatch{{Pos: 2, Val: 0x1_0000_0001}}, Match: RetLog, Else: RetTrace}},
+		CheckArch: true,
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Disasm(prog)
+	for _, want := range []string{"[arch]", "[nr]", "[args[2].lo]", "[args[2].hi]", "ret LOG", "ret TRACE", "ret ALLOW"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Disasm missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, "ld  [32]") || strings.Contains(d, "ld  [36]") {
+		t.Errorf("Disasm still renders raw arg offsets:\n%s", d)
+	}
+}
+
+// TestDisasmRendersEveryForm covers the renderer's remaining shapes:
+// instruction-pointer and unknown load offsets, the non-equality jump
+// names, accumulator returns, and the raw-opcode fallback.
+func TestDisasmRendersEveryForm(t *testing.T) {
+	prog := []Insn{
+		LoadAbs(OffIPLo),
+		LoadAbs(OffIPHi),
+		LoadAbs(100),
+		{Code: ClsJmp | JmpJgt | SrcK, K: 5, Jf: 1},
+		{Code: ClsJmp | JmpJge | SrcK, K: 5, Jf: 1},
+		{Code: ClsJmp | JmpJset | SrcK, K: 5, Jf: 1},
+		{Code: ClsJmp | 0xd0, K: 5},
+		RetAcc(),
+		{Code: ClsAlu, K: 7},
+	}
+	d := Disasm(prog)
+	for _, want := range []string{
+		"[ip.lo]", "[ip.hi]", "[100]",
+		"jgt", "jge", "jset", "j??",
+		"ret A", "op 0x4",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Disasm missing %q:\n%s", want, d)
+		}
+	}
+}

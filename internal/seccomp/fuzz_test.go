@@ -51,6 +51,69 @@ func FuzzRun(f *testing.F) {
 	})
 }
 
+// FuzzValidateEmitSearch hardens Validate against malformed branch offsets
+// in emitSearch output: compile a tree program (with arg subtrees), mutate
+// one jump offset, and require fail-closed behaviour — pristine programs
+// always validate, and any mutant Validate still accepts must run to a
+// clean return on arbitrary probe data.
+func FuzzValidateEmitSearch(f *testing.F) {
+	f.Add([]byte{59, 1, 10, 0, 99, 2}, uint32(2), byte(7), uint32(59), uint64(42))
+	f.Add([]byte{3, 3, 16, 3, 0, 1, 7, 2}, uint32(9), byte(255), uint32(3), uint64(1<<40))
+	f.Add([]byte{}, uint32(0), byte(1), uint32(0), uint64(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, mutIdx uint32, mutDelta byte, probe uint32, arg uint64) {
+		p := &Policy{Default: RetAllow, Actions: map[uint32]uint32{}, ArgRules: map[uint32]ArgRule{}, CheckArch: true}
+		for i := 0; i+2 <= len(raw) && len(p.Actions)+len(p.ArgRules) < 128; i += 2 {
+			nr := uint32(raw[i]) * 0x01010101 / 7
+			if _, ok := p.Actions[nr]; ok {
+				continue
+			}
+			if _, ok := p.ArgRules[nr]; ok {
+				continue
+			}
+			switch raw[i+1] % 3 {
+			case 0:
+				p.Actions[nr] = RetKill
+			case 1:
+				p.Actions[nr] = RetTrace
+			default:
+				p.ArgRules[nr] = ArgRule{
+					Matches: []ArgMatch{{Pos: int(raw[i+1]) % 6, Val: arg}},
+					Match:   RetLog,
+					Else:    RetTrace,
+				}
+			}
+		}
+		prog, err := p.CompileTree()
+		if err != nil {
+			t.Fatalf("CompileTree: %v", err)
+		}
+		if err := Validate(prog); err != nil {
+			t.Fatalf("pristine emitSearch output rejected: %v", err)
+		}
+		// Mutate one jump's offset fields.
+		mut := make([]Insn, len(prog))
+		copy(mut, prog)
+		i := int(mutIdx) % len(mut)
+		if mut[i].Code&0x07 == ClsJmp {
+			if mut[i].Code&0xf0 == JmpJa {
+				mut[i].K += uint32(mutDelta)
+			} else if mutDelta&1 == 0 {
+				mut[i].Jt += mutDelta
+			} else {
+				mut[i].Jf += mutDelta
+			}
+		}
+		if Validate(mut) != nil {
+			return // rejected: failed closed
+		}
+		d := &Data{Nr: probe, Arch: AuditArchX86_64, Args: [6]uint64{arg, arg, arg, arg, arg, arg}}
+		if _, _, err := Run(mut, d); err != nil {
+			t.Fatalf("validated mutant faulted at runtime: %v", err)
+		}
+	})
+}
+
 // FuzzCompileTreeEquivalence decodes the input into an arbitrary rule set
 // and probe number and asserts that the binary-search program returns the
 // same action as the linear chain — the compilation-level counterpart of

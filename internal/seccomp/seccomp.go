@@ -165,7 +165,7 @@ const MaxInsns = 4096
 
 // Validate performs the structural checks the kernel applies at
 // SECCOMP_SET_MODE_FILTER time: bounded length, in-range forward jumps, a
-// terminating return, and recognized opcodes.
+// terminating return, recognized opcodes, and full forward reachability.
 func Validate(prog []Insn) error {
 	if len(prog) == 0 {
 		return errors.New("seccomp: empty program")
@@ -191,6 +191,30 @@ func Validate(prog []Insn) error {
 	}
 	if last := prog[len(prog)-1]; last.Code&0x07 != ClsRet {
 		return errors.New("seccomp: program does not end in a return")
+	}
+	// Forward reachability (jumps are forward-only, so one pass suffices):
+	// every instruction must be reachable from entry. This is what makes a
+	// malformed branch offset fail closed — a jump whose target lands past
+	// the end of an emitted arg-compare chain strands the chain's
+	// terminating return and is rejected here instead of silently changing
+	// the program's decision.
+	reach := make([]bool, len(prog))
+	reach[0] = true
+	for pc, in := range prog {
+		if !reach[pc] {
+			return fmt.Errorf("seccomp: insn %d unreachable", pc)
+		}
+		switch {
+		case in.Code&0x07 == ClsRet:
+			// terminates; successors unaffected
+		case in.Code&0x07 == ClsJmp && in.Code&0xf0 == JmpJa:
+			reach[pc+1+int(in.K)] = true
+		case in.Code&0x07 == ClsJmp:
+			reach[pc+1+int(in.Jt)] = true
+			reach[pc+1+int(in.Jf)] = true
+		default:
+			reach[pc+1] = true
+		}
 	}
 	return nil
 }
@@ -322,22 +346,104 @@ type Policy struct {
 	// Actions maps syscall number to action for syscalls that deviate from
 	// the default.
 	Actions map[uint32]uint32
+	// ArgRules maps syscall number to an argument-conditional decision
+	// evaluated entirely in-filter from the literal argument registers in
+	// seccomp_data. A syscall number must not appear in both Actions and
+	// ArgRules.
+	ArgRules map[uint32]ArgRule
 	// CheckArch inserts the standard architecture guard that kills the
 	// process on a foreign-architecture syscall.
 	CheckArch bool
+}
+
+// ArgMatch requires syscall argument Pos (0-based register position) to
+// equal the full 64-bit value Val.
+type ArgMatch struct {
+	Pos int
+	Val uint64
+}
+
+// ArgRule decides a syscall from its argument registers: when every match
+// holds the filter returns Match, otherwise Else. An empty match list
+// degenerates to an unconditional Match.
+type ArgRule struct {
+	Matches []ArgMatch
+	Match   uint32
+	Else    uint32
+}
+
+// checkRules validates the rule tables before compilation. Iteration is
+// over the sorted union so error selection is deterministic.
+func (p *Policy) checkRules() error {
+	for _, nr := range p.sortedNrs() {
+		r, ok := p.ArgRules[nr]
+		if !ok {
+			continue
+		}
+		if _, dup := p.Actions[nr]; dup {
+			return fmt.Errorf("seccomp: nr %d appears in both Actions and ArgRules", nr)
+		}
+		if len(r.Matches) > 6 {
+			return fmt.Errorf("seccomp: nr %d: too many arg matches (%d)", nr, len(r.Matches))
+		}
+		for _, m := range r.Matches {
+			if m.Pos < 0 || m.Pos > 5 {
+				return fmt.Errorf("seccomp: nr %d: arg position %d out of range", nr, m.Pos)
+			}
+		}
+	}
+	return nil
+}
+
+// bodyFor emits the decision block entered once the syscall number has
+// matched nr: either a bare return of the configured action, or an
+// argument-compare chain for an ArgRule. Every path through the block ends
+// in a return (arg loads clobber A, so nothing downstream may rely on it).
+func (p *Policy) bodyFor(nr uint32) []Insn {
+	r, ok := p.ArgRules[nr]
+	if !ok {
+		return []Insn{RetConst(p.Actions[nr])}
+	}
+	if len(r.Matches) == 0 {
+		return []Insn{RetConst(r.Match)}
+	}
+	matches := slices.Clone(r.Matches)
+	slices.SortStableFunc(matches, func(a, b ArgMatch) int { return a.Pos - b.Pos })
+	// Layout: 4 insns per match, then `ret Match` at 4k and `ret Else` at
+	// 4k+1. Each failed comparison branches to the else return.
+	body := make([]Insn, 0, 4*len(matches)+2)
+	for _, m := range matches {
+		i := len(body)
+		// Classic BPF loads are 32-bit, so a 64-bit equality test must
+		// compare BOTH halves of args[pos]; checking only the low word
+		// would silently truncate constants above 2^32 and negative
+		// sentinels like -1 fds.
+		body = append(body,
+			LoadAbs(OffArgLo(m.Pos)),
+			JumpEq(uint32(m.Val), 0, uint8(4*len(matches)-i-1)),
+			LoadAbs(OffArgHi(m.Pos)),
+			JumpEq(uint32(m.Val>>32), 0, uint8(4*len(matches)-i-3)),
+		)
+	}
+	return append(body, RetConst(r.Match), RetConst(r.Else))
 }
 
 // Compile lowers the policy to a cBPF program:
 //
 //	[arch guard]
 //	ld  [nr]
-//	jeq nr_i -> ret action_i   (one comparison chain entry per rule)
+//	jeq nr_i -> body_i   (one comparison chain entry per rule)
 //	ret default
 //
-// Rules are emitted in ascending syscall-number order for determinism.
+// where body_i is a bare action return or an argument-compare chain (see
+// bodyFor). Rules are emitted in ascending syscall-number order for
+// determinism.
 func (p *Policy) Compile() ([]Insn, error) {
-	if len(p.Actions) > MaxInsns/2 {
-		return nil, fmt.Errorf("seccomp: too many rules (%d)", len(p.Actions))
+	if err := p.checkRules(); err != nil {
+		return nil, err
+	}
+	if len(p.Actions)+len(p.ArgRules) > MaxInsns/2 {
+		return nil, fmt.Errorf("seccomp: too many rules (%d)", len(p.Actions)+len(p.ArgRules))
 	}
 	var prog []Insn
 	if p.CheckArch {
@@ -348,13 +454,13 @@ func (p *Policy) Compile() ([]Insn, error) {
 		)
 	}
 	prog = append(prog, LoadAbs(OffNr))
-	// Each rule is `jeq nr, 0, 1; ret action` — fall through to the next
-	// comparison on mismatch.
+	// Each rule is `jeq nr, 0, len(body); body` — fall through to the next
+	// comparison on mismatch. Bodies are at most 26 instructions (6 matches
+	// × 4 + 2 returns), well inside the 8-bit branch range.
 	for _, nr := range p.sortedNrs() {
-		prog = append(prog,
-			JumpEq(nr, 0, 1),
-			RetConst(p.Actions[nr]),
-		)
+		body := p.bodyFor(nr)
+		prog = append(prog, JumpEq(nr, 0, uint8(len(body))))
+		prog = append(prog, body...)
 	}
 	prog = append(prog, RetConst(p.Default))
 	if err := Validate(prog); err != nil {
@@ -376,10 +482,14 @@ func (p *Policy) Compile() ([]Insn, error) {
 // executes O(log n) instructions per evaluation instead of O(n), which is
 // what the per-hook cycle cost of the ModeHookOnly rows measures.
 func (p *Policy) CompileTree() ([]Insn, error) {
-	// Worst case per rule: jgt + ja trampoline + jeq + ret, plus one
+	if err := p.checkRules(); err != nil {
+		return nil, err
+	}
+	// Worst case per plain rule: jgt + ja trampoline + jeq + ret, plus one
 	// default return per leaf (#rules + 1 leaves) and the 4-insn prologue.
-	if len(p.Actions) > (MaxInsns-8)/6 {
-		return nil, fmt.Errorf("seccomp: too many rules (%d)", len(p.Actions))
+	// Arg-rule bodies are longer; Validate's length check backstops them.
+	if len(p.Actions)+len(p.ArgRules) > (MaxInsns-8)/6 {
+		return nil, fmt.Errorf("seccomp: too many rules (%d)", len(p.Actions)+len(p.ArgRules))
 	}
 	var prog []Insn
 	if p.CheckArch {
@@ -404,12 +514,16 @@ const leafRun = 4
 // emitSearch emits the binary search over nrs as a self-contained block:
 // A holds the syscall number on entry, and every path ends in a return.
 // Internal nodes cost exactly one executed instruction (a jge range
-// split); leaves cost one jeq per candidate plus the return.
+// split); leaves cost one jeq per candidate plus that candidate's decision
+// body — a bare return, or a per-nr arg subtree whose mismatch jumps skip
+// to the next candidate's comparison.
 func (p *Policy) emitSearch(nrs []uint32) []Insn {
 	if len(nrs) <= leafRun {
-		block := make([]Insn, 0, 2*len(nrs)+1)
+		var block []Insn
 		for _, nr := range nrs {
-			block = append(block, JumpEq(nr, 0, 1), RetConst(p.Actions[nr]))
+			body := p.bodyFor(nr)
+			block = append(block, JumpEq(nr, 0, uint8(len(body))))
+			block = append(block, body...)
 		}
 		return append(block, RetConst(p.Default))
 	}
@@ -436,11 +550,17 @@ func (p *Policy) emitSearch(nrs []uint32) []Insn {
 	return block
 }
 
-// sortedNrs returns the rule set's syscall numbers in ascending order.
+// sortedNrs returns the union of Actions and ArgRules syscall numbers in
+// ascending order.
 func (p *Policy) sortedNrs() []uint32 {
-	nrs := make([]uint32, 0, len(p.Actions))
+	nrs := make([]uint32, 0, len(p.Actions)+len(p.ArgRules))
 	for nr := range p.Actions {
 		nrs = append(nrs, nr)
+	}
+	for nr := range p.ArgRules {
+		if _, ok := p.Actions[nr]; !ok {
+			nrs = append(nrs, nr)
+		}
 	}
 	slices.Sort(nrs)
 	return nrs
@@ -453,7 +573,7 @@ func Disasm(prog []Insn) string {
 		out += fmt.Sprintf("%3d: ", pc)
 		switch {
 		case in.Code == ClsLd|SizeW|ModeAbs:
-			out += fmt.Sprintf("ld  [%d]\n", in.K)
+			out += fmt.Sprintf("ld  [%s]\n", offsetName(in.K))
 		case in.Code&0x07 == ClsJmp && in.Code&0xf0 == JmpJa:
 			out += fmt.Sprintf("ja  +%d\n", in.K)
 		case in.Code&0x07 == ClsJmp:
@@ -467,6 +587,28 @@ func Disasm(prog []Insn) string {
 		}
 	}
 	return out
+}
+
+// offsetName renders a seccomp_data load offset symbolically so arg-compare
+// chains read as `ld [args[i].lo]` rather than raw byte offsets.
+func offsetName(off uint32) string {
+	switch {
+	case off == OffNr:
+		return "nr"
+	case off == OffArch:
+		return "arch"
+	case off == OffIPLo:
+		return "ip.lo"
+	case off == OffIPHi:
+		return "ip.hi"
+	case off >= 16 && off < 64 && off%4 == 0:
+		i := (off - 16) / 8
+		if (off-16)%8 == 0 {
+			return fmt.Sprintf("args[%d].lo", i)
+		}
+		return fmt.Sprintf("args[%d].hi", i)
+	}
+	return fmt.Sprintf("%d", off)
 }
 
 func jmpName(code uint16) string {

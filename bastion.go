@@ -214,7 +214,8 @@ type AttackScenario = attacks.Scenario
 // AttackVerdict is a scenario's per-context outcome.
 type AttackVerdict = attacks.Verdict
 
-// AttackCatalog returns all 32 Table 6 scenarios.
+// AttackCatalog returns all 36 Table 6 scenarios (the paper's 32 plus
+// the syscall-ordering family).
 func AttackCatalog() []AttackScenario { return attacks.Catalog() }
 
 // EvaluateAttack runs one scenario against each context in isolation and

@@ -1,6 +1,7 @@
-// bastion-attack runs the security case studies of §10: the 32 attacks of
-// Table 6, each against the unprotected baseline, each BASTION context in
-// isolation, and the full configuration.
+// bastion-attack runs the security case studies of §10: the 36 attacks of
+// Table 6 (the paper's 32 plus the syscall-ordering family), each against
+// the unprotected baseline, each BASTION context in isolation, and the
+// full configuration.
 //
 // Usage:
 //

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|offload|refine|obs|fleet|extras] [-units N]
+//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|sf|offload|refine|obs|fleet|extras] [-units N]
 //	bastion-bench -report out.md [-parallel] [-workers N]
 package main
 
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | offload | refine | obs | fleet | extras")
+	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | sf | offload | refine | obs | fleet | extras")
 	units := flag.Int("units", bench.DefaultUnits, "work units per measurement")
 	reportOut := flag.String("report", "", "write a complete markdown report to this file")
 	parallel := flag.Bool("parallel", false, "fan report experiments out across CPU cores (same output, less wall clock)")
@@ -142,6 +142,18 @@ func main() {
 			rows = append(rows, r)
 		}
 		fmt.Println(bench.RenderCacheAblation(rows))
+		return nil
+	})
+	run("sf", func() error {
+		var rows []*bench.SFAblationResult
+		for _, app := range bench.Apps {
+			r, err := bench.SFAblation(app, *units)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println(bench.RenderSFAblation(rows))
 		return nil
 	})
 	run("offload", func() error {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bastion-fleet [-tenants N] [-app nginx,sqlite,vsftpd] [-units N]
-//	              [-mode full|fetch-only|hook-only] [-contexts ct,ai]
+//	              [-mode full|fetch-only|hook-only] [-contexts ct,cf,ai,sf]
 //	              [-restarts N] [-seed N]
 //	              [-det] [-workers N] [-share=false] [-cache] [-extendfs]
 //	              [-offload] [-tree] [-malicious IDX] [-attack ID] [-md]
@@ -42,6 +42,34 @@ func parseMode(s string) (monitor.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (want full, fetch-only, or hook-only)", s)
 }
 
+// parseContexts turns a comma list of ct/cf/ai/sf (or "all") into a
+// context mask.
+func parseContexts(s string) (monitor.Context, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return monitor.AllContexts, nil
+	}
+	var ctx monitor.Context
+	for _, tok := range strings.Split(strings.ToLower(strings.ReplaceAll(s, " ", "")), ",") {
+		switch tok {
+		case "ct":
+			ctx |= monitor.CallType
+		case "cf":
+			ctx |= monitor.ControlFlow
+		case "ai":
+			ctx |= monitor.ArgIntegrity
+		case "sf":
+			ctx |= monitor.SyscallFlow
+		case "":
+		default:
+			return 0, fmt.Errorf("must be all or a comma list of ct,cf,ai,sf, got %q", tok)
+		}
+	}
+	if ctx == 0 {
+		return 0, fmt.Errorf("list %q enables nothing", s)
+	}
+	return ctx, nil
+}
+
 func splitApps(s string) []string {
 	var apps []string
 	for _, a := range strings.Split(s, ",") {
@@ -57,7 +85,7 @@ func main() {
 	appList := flag.String("app", "nginx,sqlite,vsftpd", "comma-separated workloads, assigned round-robin by tenant index")
 	units := flag.Int("units", 20, "work units per tenant")
 	modeStr := flag.String("mode", "full", "monitor mode: full | fetch-only | hook-only")
-	ctxFlag := flag.String("contexts", "all", "enabled contexts: all | ct | ct,ai | ct,cf | ct,cf,ai")
+	ctxFlag := flag.String("contexts", "all", "enabled contexts: all, or a comma list of ct,cf,ai,sf")
 	restarts := flag.Int("restarts", 3, "max restarts per tenant before it is declared dead")
 	seed := flag.Int64("seed", 0, "tenant-interleaving schedule seed")
 	det := flag.Bool("det", false, "deterministic mode: run tenants serially in schedule order")
@@ -97,21 +125,13 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	var ctxMask monitor.Context
-	useCtx := false
-	switch strings.ToLower(strings.ReplaceAll(*ctxFlag, " ", "")) {
-	case "all", "ct,cf,ai":
-	case "ct":
-		ctxMask, useCtx = monitor.CallType, true
-	case "ct,ai":
-		// The verdict-offload shape: no control-flow context, so
-		// in-filter-decidable syscalls never trap.
-		ctxMask, useCtx = monitor.CallType|monitor.ArgIntegrity, true
-	case "ct,cf":
-		ctxMask, useCtx = monitor.CallType|monitor.ControlFlow, true
-	default:
-		fail("-contexts must be all / ct / ct,ai / ct,cf / ct,cf,ai, got %q", *ctxFlag)
+	ctxMask, err := parseContexts(*ctxFlag)
+	if err != nil {
+		fail("-contexts: %v", err)
 	}
+	// AllContexts is the fleet default; an explicit mask (including the
+	// pre-SF ct,cf,ai shape or the verdict-offload ct,ai shape) overrides.
+	useCtx := ctxMask != monitor.AllContexts
 	apps := splitApps(*appList)
 	if len(apps) == 0 {
 		fail("-app must name at least one workload")

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bastion-run -app nginx -units 200 [-contexts ct,cf,ai] [-unprotected]
+//	bastion-run -app nginx -units 200 [-contexts ct,cf,ai,sf] [-unprotected]
 //	            [-extend-fs] [-offload] [-no-accept-fastpath]
 //	            [-trace out.jsonl] [-trace-format jsonl|chrome]
 //	            [-metrics out.txt] [-flight N]
@@ -24,7 +24,7 @@ import (
 func main() {
 	app := flag.String("app", "nginx", "application: nginx | sqlite | vsftpd")
 	units := flag.Int("units", 100, "work units to drive")
-	ctxFlag := flag.String("contexts", "ct,cf,ai", "enabled contexts (comma list of ct,cf,ai)")
+	ctxFlag := flag.String("contexts", "ct,cf,ai,sf", "enabled contexts (comma list of ct,cf,ai,sf)")
 	unprotected := flag.Bool("unprotected", false, "run without BASTION")
 	extendFS := flag.Bool("extend-fs", false, "also protect file-system syscalls (§11.2)")
 	offload := flag.Bool("offload", false, "answer in-filter-decidable verdicts inside the seccomp program (needs -extend-fs and a context set without cf)")
@@ -46,22 +46,25 @@ func main() {
 	if *unprotected {
 		spec.Mitigation = bench.MitVanilla
 	} else {
-		switch normalize(*ctxFlag) {
-		case "ct":
+		ctx, err := parseContexts(*ctxFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bastion-run: %v\n", err)
+			os.Exit(2)
+		}
+		switch ctx {
+		case monitor.CallType:
 			spec.Mitigation = bench.MitCETCT
-		case "ct,cf":
+		case monitor.CallType | monitor.ControlFlow:
 			spec.Mitigation = bench.MitCETCTCF
-		case "ct,cf,ai":
+		case monitor.AllContexts:
 			spec.Mitigation = bench.MitFull
-		case "ct,ai":
-			// The verdict-offload shape: no control-flow context, so
-			// in-filter-decidable syscalls never trap.
+		default:
+			// Any other combination (ct,ai for the verdict-offload shape,
+			// ct,cf,ai for pre-SF behavior, sf alone for the flow ablation)
+			// runs full mode with an explicit context mask.
 			spec.Mitigation = bench.MitFull
 			spec.UseContexts = true
-			spec.Contexts = monitor.CallType | monitor.ArgIntegrity
-		default:
-			fmt.Fprintf(os.Stderr, "bastion-run: contexts must be ct / ct,cf / ct,ai / ct,cf,ai\n")
-			os.Exit(2)
+			spec.Contexts = ctx
 		}
 	}
 
@@ -142,7 +145,30 @@ func main() {
 	}
 }
 
-func normalize(s string) string {
-	parts := strings.Split(strings.ToLower(strings.ReplaceAll(s, " ", "")), ",")
-	return strings.Join(parts, ",")
+// parseContexts turns a comma list of ct/cf/ai/sf (or "all") into a
+// context mask.
+func parseContexts(s string) (monitor.Context, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return monitor.AllContexts, nil
+	}
+	var ctx monitor.Context
+	for _, tok := range strings.Split(strings.ToLower(strings.ReplaceAll(s, " ", "")), ",") {
+		switch tok {
+		case "ct":
+			ctx |= monitor.CallType
+		case "cf":
+			ctx |= monitor.ControlFlow
+		case "ai":
+			ctx |= monitor.ArgIntegrity
+		case "sf":
+			ctx |= monitor.SyscallFlow
+		case "":
+		default:
+			return 0, fmt.Errorf("contexts must be a comma list of ct,cf,ai,sf (or all), got %q", tok)
+		}
+	}
+	if ctx == 0 {
+		return 0, fmt.Errorf("contexts list %q enables nothing", s)
+	}
+	return ctx, nil
 }

@@ -491,10 +491,55 @@ func addMasterUpgrade(p *ir.Program) {
 	p.AddFunc(b.Build())
 }
 
+// addMain encodes the master/worker lifecycle the drivers exercise, so the
+// syscall-flow graph derived from main's CFG admits every benign ordering:
+// a pre-serve master window where a binary upgrade may exec (and only
+// there — re-exec after serving is an illegal ordering), then the serve
+// loop interleaving request handling, direct output-chain flushes, and
+// variable dispatches in any order. The runtime path through this CFG is
+// unchanged from the historical main (init, one request, exit): the
+// upgrade window branches on upgrade_requested (0 unless a test arms it)
+// and the loop runs one iteration on the request arm.
 func addMain(p *ir.Program) {
 	b := ir.NewBuilder("main", 0)
+	b.Local("lfd", 8)
+	b.Local("i", 8)
 	lfd := b.Call(FnInit, ir.Imm(2))
-	b.Call(FnHandleRequest, ir.R(lfd))
+	b.StoreLocal("lfd", ir.R(lfd))
+
+	// Pre-serve master window: the only place an upgrade exec is legal.
+	up := b.Load(b.GlobalLea("upgrade_requested", 0), 0, 8)
+	idle := b.Bin(ir.OpEq, ir.R(up), ir.Imm(0))
+	b.BranchNZ(ir.R(idle), "serve")
+	direct := b.Bin(ir.OpEq, ir.R(up), ir.Imm(2))
+	b.BranchNZ(ir.R(direct), "master_direct")
+	b.Call(FnMasterCycle)
+	b.Jump("serve")
+	b.Label("master_direct")
+	b.Call(FnMasterUpgrade)
+
+	b.Label("serve")
+	b.StoreLocal("i", ir.Imm(1))
+	b.Label("serve_loop")
+	iv := b.LoadLocal("i")
+	oc := b.Bin(ir.OpEq, ir.R(iv), ir.Imm(2))
+	b.BranchNZ(ir.R(oc), "flush")
+	varArm := b.Bin(ir.OpEq, ir.R(iv), ir.Imm(3))
+	b.BranchNZ(ir.R(varArm), "vars")
+	lf := b.LoadLocal("lfd")
+	b.Call(FnHandleRequest, ir.R(lf))
+	b.Jump("serve_next")
+	b.Label("flush")
+	b.Call(FnOutputChain, ir.Imm(0))
+	b.Jump("serve_next")
+	b.Label("vars")
+	b.Call(FnIndexedVar, ir.Imm(0), ir.Imm(0))
+	b.Label("serve_next")
+	iv2 := b.LoadLocal("i")
+	dec := b.Bin(ir.OpAdd, ir.R(iv2), ir.Imm(-1))
+	b.StoreLocal("i", ir.R(dec))
+	b.BranchNZ(ir.R(dec), "serve_loop")
+
 	b.Call("exit_group", ir.Imm(0))
 	b.Ret(ir.Imm(0))
 	p.AddFunc(b.Build())

@@ -330,11 +330,41 @@ func addTxn(p *ir.Program) {
 	p.AddFunc(b.Build())
 }
 
+// addMain encodes the server lifecycle the drivers exercise: an accept
+// loop whose body runs zero or more transactions before accepting again,
+// so the syscall-flow graph admits the benign orderings accept→accept
+// (terminal pre-registration), accept→txn, txn→txn, and txn→accept — and
+// nothing that re-enters db_init after serving. The runtime path is the
+// historical one (init, one accept, one txn, exit): both loop counters
+// start at 1.
 func addMain(p *ir.Program) {
 	b := ir.NewBuilder("main", 0)
+	b.Local("lfd", 8)
+	b.Local("conns", 8)
+	b.Local("txns", 8)
 	lfd := b.Call(FnInit, ir.Imm(2))
-	cfd := b.Call(FnAccept, ir.R(lfd))
+	b.StoreLocal("lfd", ir.R(lfd))
+	b.StoreLocal("conns", ir.Imm(1))
+
+	b.Label("accept_loop")
+	lf := b.LoadLocal("lfd")
+	cfd := b.Call(FnAccept, ir.R(lf))
+	b.StoreLocal("txns", ir.Imm(1))
+	b.Label("txn_loop")
+	tv := b.LoadLocal("txns")
+	done := b.Bin(ir.OpEq, ir.R(tv), ir.Imm(0))
+	b.BranchNZ(ir.R(done), "txn_done")
 	b.Call(FnTxn, ir.R(cfd))
+	tv2 := b.LoadLocal("txns")
+	tdec := b.Bin(ir.OpAdd, ir.R(tv2), ir.Imm(-1))
+	b.StoreLocal("txns", ir.R(tdec))
+	b.Jump("txn_loop")
+	b.Label("txn_done")
+	cv := b.LoadLocal("conns")
+	cdec := b.Bin(ir.OpAdd, ir.R(cv), ir.Imm(-1))
+	b.StoreLocal("conns", ir.R(cdec))
+	b.BranchNZ(ir.R(cdec), "accept_loop")
+
 	b.Call("exit_group", ir.Imm(0))
 	b.Ret(ir.Imm(0))
 	p.AddFunc(b.Build())

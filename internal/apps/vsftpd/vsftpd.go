@@ -140,8 +140,12 @@ func addSession(p *ir.Program) {
 	p.AddFunc(b.Build())
 }
 
-// addPasv defines ftp_pasv(ctrlfd, port): open a passive data listener and
-// announce it on the control connection.
+// addPasv defines ftp_pasv(ctrlfd, port): bind the passive data socket,
+// announce it on the control connection, then open the listener. Bringing
+// the listener up is the transfer window's final step: the syscall-flow
+// graph thereby records listen as PASV's last emission, so a second PASV
+// issued without the RETR that consumes the window is an out-of-graph
+// listen→socket transition.
 func addPasv(p *ir.Program) {
 	b := ir.NewBuilder(FnPasv, 2)
 	b.Local("sa", 16)
@@ -154,11 +158,6 @@ func addPasv(p *ir.Program) {
 	sa := sockaddrStores(b, "sa", port)
 	dfd1 := b.LoadLocal("dfd")
 	b.Call("bind", ir.R(dfd1), ir.R(sa), ir.Imm(16))
-	dfd2 := b.LoadLocal("dfd")
-	b.Call("listen", ir.R(dfd2), ir.Imm(1))
-	st := b.GlobalLea("ftp_state", 0)
-	dfd3 := b.LoadLocal("dfd")
-	b.Store(st, 8, ir.R(dfd3), 8)
 
 	// "227" on control.
 	rp := b.Lea("resp", 0)
@@ -168,6 +167,12 @@ func addPasv(p *ir.Program) {
 	ctrl := b.LoadLocal("p0")
 	rp2 := b.Lea("resp", 0)
 	b.Call("write", ir.R(ctrl), ir.R(rp2), ir.Imm(3))
+
+	dfd2 := b.LoadLocal("dfd")
+	b.Call("listen", ir.R(dfd2), ir.Imm(1))
+	st := b.GlobalLea("ftp_state", 0)
+	dfd3 := b.LoadLocal("dfd")
+	b.Store(st, 8, ir.R(dfd3), 8)
 	dfd4 := b.LoadLocal("dfd")
 	b.Ret(ir.R(dfd4))
 	p.AddFunc(b.Build())
@@ -278,12 +283,51 @@ func addPortRetr(p *ir.Program) {
 	p.AddFunc(b.Build())
 }
 
+// addMain encodes the daemon lifecycle the drivers exercise: an optional
+// active-mode (PORT) transfer straight after init, then a session loop
+// whose body runs zero or more passive transfers (PASV then RETR) before
+// the next session. The syscall-flow graph derived from this CFG admits
+// init→port, session→session, pasv→retr, retr→pasv, and retr→session —
+// and nothing that replays init after serving. The runtime path is the
+// historical one (init, one session, one pasv, one retr, exit): the PORT
+// branch is not taken and both counters start at 1.
 func addMain(p *ir.Program) {
 	b := ir.NewBuilder("main", 0)
+	b.Local("lfd", 8)
+	b.Local("sessions", 8)
+	b.Local("xfers", 8)
 	lfd := b.Call(FnInit)
-	cfd := b.Call(FnSession, ir.R(lfd))
+	b.StoreLocal("lfd", ir.R(lfd))
+	b.StoreLocal("sessions", ir.Imm(1))
+
+	// Active-mode branch: legal only in the fresh post-init window.
+	active := b.Bin(ir.OpEq, ir.R(lfd), ir.Imm(-1))
+	b.BranchNZ(ir.R(active), "port_mode")
+	b.Jump("sessions")
+	b.Label("port_mode")
+	b.Call(FnPort, ir.Imm(0), ir.Imm(DataPortBase+100))
+
+	b.Label("sessions")
+	b.Label("session_loop")
+	lf := b.LoadLocal("lfd")
+	cfd := b.Call(FnSession, ir.R(lf))
+	b.StoreLocal("xfers", ir.Imm(1))
+	b.Label("xfer_loop")
+	xv := b.LoadLocal("xfers")
+	done := b.Bin(ir.OpEq, ir.R(xv), ir.Imm(0))
+	b.BranchNZ(ir.R(done), "xfer_done")
 	b.Call(FnPasv, ir.R(cfd), ir.Imm(DataPortBase))
 	b.Call(FnRetr, ir.R(cfd))
+	xv2 := b.LoadLocal("xfers")
+	xdec := b.Bin(ir.OpAdd, ir.R(xv2), ir.Imm(-1))
+	b.StoreLocal("xfers", ir.R(xdec))
+	b.Jump("xfer_loop")
+	b.Label("xfer_done")
+	sv := b.LoadLocal("sessions")
+	sdec := b.Bin(ir.OpAdd, ir.R(sv), ir.Imm(-1))
+	b.StoreLocal("sessions", ir.R(sdec))
+	b.BranchNZ(ir.R(sdec), "session_loop")
+
 	b.Call("exit_group", ir.Imm(0))
 	b.Ret(ir.Imm(0))
 	p.AddFunc(b.Build())

@@ -86,6 +86,17 @@ func buildApache() *ir.Program {
 	ed.Ret(ir.R(r6))
 	p.AddFunc(ed.Build())
 
+	// ap_drop_privileges(): the master's switch to the unprivileged
+	// worker identity once the exec window has closed. In main's CFG the
+	// drop's setgid is the last sensitive syscall before steady-state
+	// logging — the flow sentinel that makes any later exec an
+	// out-of-graph transition.
+	dp := ir.NewBuilder("ap_drop_privileges", 0)
+	dp.Call("setuid", ir.Imm(48))
+	dp.Call("setgid", ir.Imm(48))
+	dp.Ret(ir.Imm(0))
+	p.AddFunc(dp.Build())
+
 	// ap_init(): register hooks, map a pool.
 	in := ir.NewBuilder("ap_init", 0)
 	in.Call("mmap", ir.Imm(0), ir.Imm(16384), ir.Imm(kernel.ProtRead|kernel.ProtWrite),
@@ -99,10 +110,34 @@ func buildApache() *ir.Program {
 	in.Ret(ir.Imm(0))
 	p.AddFunc(in.Build())
 
+	// main's CFG covers both legitimate exec paths (guarded branches taken
+	// only when a test drives them), then the privilege drop, then a log
+	// loop — so the syscall-flow graph admits init→exec and repeated log
+	// writes but places every exec strictly before the drop.
 	mb := ir.NewBuilder("main", 0)
+	mb.Local("i", 8)
 	mb.Call("ap_init")
+	mb.StoreLocal("i", ir.Imm(1))
+	iv := mb.LoadLocal("i")
+	execDirect := mb.Bin(ir.OpEq, ir.R(iv), ir.Imm(2))
+	mb.BranchNZ(ir.R(execDirect), "exec_direct")
+	execLine := mb.Bin(ir.OpEq, ir.R(iv), ir.Imm(3))
+	mb.BranchNZ(ir.R(execLine), "exec_line")
+	mb.Jump("drop")
+	mb.Label("exec_direct")
+	mb.Call("ap_exec_direct")
+	mb.Jump("drop")
+	mb.Label("exec_line")
+	mb.Call("ap_get_exec_line")
+	mb.Label("drop")
+	mb.Call("ap_drop_privileges")
+	mb.Label("logs")
 	lb := mb.GlobalLea("logbuf", 0)
 	mb.Call("ap_run_log", ir.R(lb), ir.Imm(4))
+	iv2 := mb.LoadLocal("i")
+	dec := mb.Bin(ir.OpAdd, ir.R(iv2), ir.Imm(-1))
+	mb.StoreLocal("i", ir.R(dec))
+	mb.BranchNZ(ir.R(dec), "logs")
 	mb.Call("exit_group", ir.Imm(0))
 	mb.Ret(ir.Imm(0))
 	p.AddFunc(mb.Build())

@@ -1,7 +1,10 @@
 // Package attacks implements the security case studies of §10 (Table 6):
-// 32 attacks spanning return-oriented programming, direct system call
+// 36 attacks spanning return-oriented programming, direct system call
 // manipulation (NEWTON CsCFI, AOCR, CVE-derived exploits), and indirect
-// manipulation (NEWTON CPI, COOP, Control Jujutsu). Each scenario stages
+// manipulation (NEWTON CPI, COOP, Control Jujutsu), plus an ordering
+// family in which every individual syscall is legitimate and only the
+// syscall-flow context detects the replayed or reordered lifecycle
+// phase. Each scenario stages
 // its corruption against a real guest application using only the threat
 // model's primitives — arbitrary memory read/write plus an application
 // vulnerability trigger — and success is decided by observing kernel
@@ -66,6 +69,7 @@ var (
 	DefCT   = Defense{Name: "CT", UseMonitor: true, Contexts: monitor.CallType}
 	DefCF   = Defense{Name: "CF", UseMonitor: true, Contexts: monitor.ControlFlow}
 	DefAI   = Defense{Name: "AI", UseMonitor: true, Contexts: monitor.ArgIntegrity}
+	DefSF   = Defense{Name: "SF", UseMonitor: true, Contexts: monitor.SyscallFlow}
 	DefAll  = Defense{Name: "BASTION", UseMonitor: true, Contexts: monitor.AllContexts}
 	DefCET  = Defense{Name: "CET", CET: true}
 	DefCFI  = Defense{Name: "LLVM-CFI", CFI: true}
@@ -226,12 +230,19 @@ func HijackReturn(m *vm.Machine, newRBP, newRet uint64) error {
 type Scenario struct {
 	ID       string
 	Name     string
-	Category string // "rop", "direct", "indirect"
+	Category string // "rop", "direct", "indirect", "ordering"
 	Ref      string // the paper's citation
 	App      string // nginx | sqlite | vsftpd | apache
 
 	// Expected Table 6 verdicts: does each context block the attack?
 	BlockCT, BlockCF, BlockAI bool
+	// BlockSF: does the syscall-flow context, alone, block the attack?
+	// True whenever the first attacker-caused sensitive syscall lands
+	// outside the application's derived transition graph — which covers
+	// most staged payloads (an execve after accept4 has no edge) and is
+	// the only ✓ column for the "ordering" family, whose individual calls
+	// are all legitimate.
+	BlockSF bool
 
 	// Goal decides completion from post-mark kernel events.
 	GoalKind   kernel.EventKind
@@ -427,8 +438,8 @@ func outcomeOf(s Scenario, env *Env) Outcome {
 // Verdict evaluates a scenario's Table 6 row: whether each context, run in
 // isolation, blocks the attack.
 type Verdict struct {
-	Scenario   Scenario
-	CT, CF, AI bool
+	Scenario       Scenario
+	CT, CF, AI, SF bool
 	// FullBlocked: all three contexts together stop the attack.
 	FullBlocked bool
 	// BaselineCompleted: the attack reaches its goal unprotected.
@@ -447,7 +458,7 @@ func Evaluate(s Scenario) (Verdict, error) {
 		def Defense
 		dst *bool
 	}{
-		{DefCT, &v.CT}, {DefCF, &v.CF}, {DefAI, &v.AI},
+		{DefCT, &v.CT}, {DefCF, &v.CF}, {DefAI, &v.AI}, {DefSF, &v.SF},
 	} {
 		out, err := Execute(s, d.def)
 		if err != nil {
@@ -476,7 +487,7 @@ type ComparisonRow struct {
 // CompareDefenses runs the given scenarios against the standard defense
 // set (unprotected, each context, full BASTION, CET, CFI).
 func CompareDefenses(ids []string) ([]ComparisonRow, error) {
-	defs := []Defense{DefNone, DefCT, DefCF, DefAI, DefAll, DefCET, DefCFI}
+	defs := []Defense{DefNone, DefCT, DefCF, DefAI, DefSF, DefAll, DefCET, DefCFI}
 	var rows []ComparisonRow
 	for _, id := range ids {
 		s, ok := ByID(id)

@@ -6,10 +6,10 @@ import (
 	"bastion/internal/core/monitor"
 )
 
-func TestCatalogHas32Scenarios(t *testing.T) {
+func TestCatalogHas36Scenarios(t *testing.T) {
 	cat := Catalog()
-	if len(cat) != 32 {
-		t.Fatalf("catalog has %d scenarios, want 32 (Table 6)", len(cat))
+	if len(cat) != 36 {
+		t.Fatalf("catalog has %d scenarios, want 36 (Table 6 + ordering)", len(cat))
 	}
 	seen := map[string]bool{}
 	counts := map[string]int{}
@@ -23,8 +23,8 @@ func TestCatalogHas32Scenarios(t *testing.T) {
 			t.Errorf("%s has no Run", s.ID)
 		}
 	}
-	if counts["rop"] != 18 || counts["direct"] != 9 || counts["indirect"] != 5 {
-		t.Fatalf("category counts = %v, want rop=18 direct=9 indirect=5", counts)
+	if counts["rop"] != 18 || counts["direct"] != 9 || counts["indirect"] != 5 || counts["ordering"] != 4 {
+		t.Fatalf("category counts = %v, want rop=18 direct=9 indirect=5 ordering=4", counts)
 	}
 }
 
@@ -50,6 +50,9 @@ func TestTable6(t *testing.T) {
 			}
 			if v.AI != s.BlockAI {
 				t.Errorf("AI blocked=%v, want %v", v.AI, s.BlockAI)
+			}
+			if v.SF != s.BlockSF {
+				t.Errorf("SF blocked=%v, want %v", v.SF, s.BlockSF)
 			}
 			if !v.FullBlocked {
 				t.Errorf("full BASTION did not block")
@@ -135,6 +138,9 @@ func TestReportOnlyCoversVerdicts(t *testing.T) {
 		}
 		if s.BlockAI {
 			want |= monitor.ArgIntegrity
+		}
+		if s.BlockSF {
+			want |= monitor.SyscallFlow
 		}
 		// ReportOnly runs let the attack proceed past earlier checks, so
 		// the violated set must at least include every expected context

@@ -26,7 +26,8 @@ const (
 // deterministic; the paper's threat model grants the attacker the leak.
 const poolBase uint64 = 0x7f00_0000_4000
 
-// Catalog returns all 32 Table 6 scenarios, in the table's order.
+// Catalog returns all 36 scenarios in the table's order: the 32 Table 6
+// rows followed by the syscall-flow ordering family.
 func Catalog() []Scenario {
 	var out []Scenario
 	out = append(out, ropExecScenarios()...)
@@ -34,6 +35,7 @@ func Catalog() []Scenario {
 	out = append(out, ropMemPermScenarios()...)
 	out = append(out, directScenarios()...)
 	out = append(out, indirectScenarios()...)
+	out = append(out, orderingScenarios()...)
 	return out
 }
 
@@ -207,12 +209,16 @@ func ropMemPermScenarios() []Scenario {
 		ref   string
 		app   string
 		stage stageKind
+		// sf: whether the payload's first sensitive syscall also falls
+		// outside the app's transition graph (the sqlite variant fires
+		// mprotect from the txn loop, where mprotect edges are legal).
+		sf bool
 	}
 	variants := []variant{
-		{"[2]", "nginx", stageScratch},
-		{"[4]", "nginx", stageStack},
-		{"[6]", "sqlite", stagePool},
-		{"[12]", "vsftpd", stagePool},
+		{"[2]", "nginx", stageScratch, true},
+		{"[4]", "nginx", stageStack, true},
+		{"[6]", "sqlite", stagePool, false},
+		{"[12]", "vsftpd", stagePool, true},
 	}
 	out := make([]Scenario, 0, len(variants))
 	for i, v := range variants {
@@ -223,7 +229,7 @@ func ropMemPermScenarios() []Scenario {
 			Category: "rop",
 			Ref:      v.ref,
 			App:      v.app,
-			BlockCT:  false, BlockCF: true, BlockAI: true,
+			BlockCT:  false, BlockCF: true, BlockAI: true, BlockSF: v.sf,
 			GoalKind: kernel.EventMemExec, GoalDetail: "W+X",
 			Run: func(e *Env) { runRopMemPerm(e, v.app, v.stage) },
 		})
@@ -294,6 +300,9 @@ func directScenarios() []Scenario {
 			Ref:      "[93]",
 			App:      "nginx",
 			BlockCT:  true, BlockCF: true, BlockAI: true,
+			// setreuid is never trapped legitimately, so it has no node in
+			// the transition graph at all — SF blocks it too.
+			BlockSF:  true,
 			GoalKind: kernel.EventSetuid, GoalDetail: "reuid",
 			Run: func(e *Env) {
 				// NGINX uses setuid but never setreuid: its stub exists in
@@ -335,6 +344,13 @@ func cveScenarios() []Scenario {
 			Run: run,
 		}
 	}
+	// sf marks rows whose payload syscall is also an out-of-graph
+	// transition (chmod has no node anywhere; vsftpd's pool mprotect and
+	// sqlite's txn-loop execve have no inbound edge from the drive point).
+	sf := func(s Scenario) Scenario {
+		s.BlockSF = true
+		return s
+	}
 	return []Scenario{
 		mk("cve-2013-2028", "nginx chunked-body stack smash -> execve stub", "nginx",
 			kernel.EventExec, "/bin/sh", func(e *Env) {
@@ -364,16 +380,16 @@ func cveScenarios() []Scenario {
 				idx := (sc - e.GlobalAddr("var_handlers")) / 16
 				e.Call(nginx.FnIndexedVar, sc+32, idx)
 			}),
-		mk("cve-2012-0809", "sudo-style corruption -> chmod stub (setuid bit)", "vsftpd",
+		sf(mk("cve-2012-0809", "sudo-style corruption -> chmod stub (setuid bit)", "vsftpd",
 			kernel.EventChmod, "/pub/file.bin", func(e *Env) {
 				runVsftpdOverflow(e, "chmod",
 					[]uint64{poolBase + 256, 0o4777}, "/pub/file.bin", poolBase+256)
-			}),
-		mk("cve-2014-8668", "libtiff-style overflow -> mprotect stub (RWX)", "vsftpd",
+			})),
+		sf(mk("cve-2014-8668", "libtiff-style overflow -> mprotect stub (RWX)", "vsftpd",
 			kernel.EventMemExec, "W+X", func(e *Env) {
 				runVsftpdOverflow(e, "mprotect", []uint64{poolBase, 4096, 7}, "", 0)
-			}),
-		mk("cve-2014-1912", "python-style buffer overflow -> execve stub", "sqlite",
+			})),
+		sf(mk("cve-2014-1912", "python-style buffer overflow -> execve stub", "sqlite",
 			kernel.EventExec, "/bin/sh", func(e *Env) {
 				tbl := e.R(e.GlobalAddr("db_state") + 8)
 				e.PlantString(tbl+600, "/bin/sh")
@@ -381,7 +397,7 @@ func cveScenarios() []Scenario {
 					[]uint64{tbl + 600, 0, 0}, tbl+704)
 				e.Conn.ClientWrite([]byte("NEWORDER 9 1"))
 				e.Call(sqlitedb.FnTxn, e.ClientFD())
-			}),
+			})),
 	}
 }
 
@@ -460,6 +476,8 @@ func indirectScenarios() []Scenario {
 			Ref:      "[93]",
 			App:      "nginx",
 			BlockCT:  true, BlockCF: true, BlockAI: true,
+			// chmod never appears in nginx's graph: no node, SF blocks.
+			BlockSF:  true,
 			GoalKind: kernel.EventChmod, GoalDetail: "/bin/sh",
 			Run: func(e *Env) {
 				// Listing 2: corrupt only the index; the fake v[] entry
@@ -585,4 +603,105 @@ func hookBeforeCall(e *Env, fn, target string, h vm.Hook) {
 		}
 	}
 	panic("attacks: no call to " + target + " in " + fn)
+}
+
+// --- Ordering: syscall-flow violations with individually legal calls ---
+
+// orderingScenarios are attacks in which the adversary never corrupts a
+// callsite, a stack, or an argument: every system call it causes is one
+// the application makes legitimately, with the arguments the metadata
+// expects, from the real instruction. What is wrong is *when* — a
+// privileged lifecycle phase is replayed after the program moved past it,
+// or a transfer prelude is skipped. Call-type, control-flow, and
+// argument-integrity all verify per-trap facts and pass; only the
+// syscall-flow context, which checks each trapped syscall against the
+// transition graph derived from the program's CFG, observes that the
+// sequence itself is impossible.
+func orderingScenarios() []Scenario {
+	return []Scenario{
+		{
+			ID:       "ord-setuid-replay",
+			Name:     "worker re-init replays privilege setup after serving",
+			Category: "ordering",
+			Ref:      "§4 syscall-flow",
+			App:      "nginx",
+			BlockSF:  true,
+			GoalKind: kernel.EventSetuid, GoalDetail: "-> 33",
+			Run: func(e *Env) {
+				// Serve one legitimate request, then re-enter the worker
+				// initializer — a phase only reachable before serving. The
+				// replayed setuid(33) would let an attacker who regained
+				// root re-establish a known credential state.
+				driveNginxVictim(e, nginx.FnHandleRequest)
+				e.Call("ngx_worker_init", 0)
+			},
+		},
+		{
+			ID:       "ord-reexec-after-drop",
+			Name:     "CGI exec path re-invoked after the privilege drop",
+			Category: "ordering",
+			Ref:      "§4 syscall-flow",
+			App:      "apache",
+			BlockSF:  true,
+			GoalKind: kernel.EventExec, GoalDetail: "apachectl",
+			Run: func(e *Env) {
+				// The server's exec window closes when the master drops to
+				// the worker identity; in the flow graph every execve
+				// precedes the drop's setuid/setgid. Run the legitimate
+				// lifecycle up to the drop, dispatch a benign log write,
+				// then re-invoke the exec path: the (attacker-controllable)
+				// command now runs after the drop — an ordering the CFG
+				// cannot produce.
+				e.Call("ap_drop_privileges")
+				e.Call("ap_run_log", e.GlobalAddr("logbuf"), 4)
+				e.Call("ap_exec_direct")
+			},
+		},
+		{
+			ID:       "ord-sandbox-reseal",
+			Name:     "ftp re-init replays the privilege drop after a session",
+			Category: "ordering",
+			Ref:      "§4 syscall-flow",
+			App:      "vsftpd",
+			BlockSF:  true,
+			GoalKind: kernel.EventSetuid, GoalDetail: "-> 99",
+			Run: func(e *Env) {
+				// Open a real session (login + per-session credentials),
+				// then replay ftp_init: its mmap/socket/bind prelude and
+				// setuid(99) only ever precede the first session.
+				conn, err := e.P.Kernel.Net.Dial(vsftpd.ControlPort)
+				if err != nil {
+					e.LastErr = err
+					return
+				}
+				conn.ClientWrite([]byte("USER anon\r\nPASS x\r\n"))
+				e.Call(vsftpd.FnSession, e.initRet)
+				e.Call(vsftpd.FnInit)
+			},
+		},
+		{
+			ID:       "ord-skipped-prelude",
+			Name:     "second PASV listener opened without completing RETR",
+			Category: "ordering",
+			Ref:      "§4 syscall-flow",
+			App:      "vsftpd",
+			BlockSF:  true,
+			GoalKind: kernel.EventSocket, GoalDetail: fmt.Sprintf("listening on port %d", vsftpd.DataPortBase+7),
+			Run: func(e *Env) {
+				// In the daemon's lifecycle a passive listener is always
+				// consumed by the RETR that follows it. Skipping that
+				// prelude and opening a second unannounced data listener
+				// gives the attacker a socket no transfer accounts for.
+				conn, err := e.P.Kernel.Net.Dial(vsftpd.ControlPort)
+				if err != nil {
+					e.LastErr = err
+					return
+				}
+				conn.ClientWrite([]byte("USER anon\r\nPASS x\r\n"))
+				cfd := e.Call(vsftpd.FnSession, e.initRet)
+				e.Call(vsftpd.FnPasv, cfd, uint64(vsftpd.DataPortBase))
+				e.Call(vsftpd.FnPasv, cfd, uint64(vsftpd.DataPortBase+7))
+			},
+		},
+	}
 }

@@ -38,13 +38,25 @@ func TestCombinedCETAndBastion(t *testing.T) {
 // bypassed, another can compensate".
 func TestDefenseInDepthMatrix(t *testing.T) {
 	for _, s := range Catalog() {
-		if !(s.BlockCT || s.BlockCF || s.BlockAI) {
+		if !(s.BlockCT || s.BlockCF || s.BlockAI || s.BlockSF) {
 			t.Errorf("%s: no context expected to block", s.ID)
 		}
-		// AI is never bypassed across the whole catalog, matching the
+		if s.Category == "ordering" {
+			// The ordering family is the syscall-flow context's reason to
+			// exist: every individual call is legitimate, so the per-trap
+			// contexts all pass and only SF blocks.
+			if s.BlockCT || s.BlockCF || s.BlockAI {
+				t.Errorf("%s: ordering attacks must bypass the per-trap contexts", s.ID)
+			}
+			if !s.BlockSF {
+				t.Errorf("%s: SF expected to block every ordering attack", s.ID)
+			}
+			continue
+		}
+		// AI is never bypassed across the Table 6 rows, matching the
 		// paper's matrix where the AI column is all ✓.
 		if !s.BlockAI {
-			t.Errorf("%s: AI expected to block every catalog attack", s.ID)
+			t.Errorf("%s: AI expected to block every Table 6 attack", s.ID)
 		}
 	}
 }

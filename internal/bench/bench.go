@@ -78,7 +78,7 @@ func (m Mitigation) String() string {
 	case MitCETCTCF:
 		return "CET+CT+CF"
 	case MitFull:
-		return "CET+CT+CF+AI"
+		return "CET+CT+CF+AI+SF"
 	}
 	return fmt.Sprintf("mitigation(%d)", int(m))
 }

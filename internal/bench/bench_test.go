@@ -259,7 +259,8 @@ func TestReportMarkdown(t *testing.T) {
 	for _, want := range []string{
 		"## Figure 3", "## Table 3", "## Table 4", "## Table 5",
 		"## Table 6", "## Table 7", "## Seccomp filter ablation",
-		"## Verdict cache ablation", "## Verdict offload ablation",
+		"## Verdict cache ablation", "## Syscall-flow ablation",
+		"## Verdict offload ablation",
 		"accept4 fast path", "in-kernel monitor",
 		"| rop-exec-01 |", "| **total monitor hook** |",
 	} {
@@ -325,6 +326,36 @@ func TestCacheAblation(t *testing.T) {
 		}
 		t.Logf("%s: mon cyc/unit %.1f -> %.1f, hit rate %.1f%%",
 			app, res.OffMonPerUnit, res.OnMonPerUnit, res.HitRate()*100)
+	}
+}
+
+// TestSFAblation: the syscall-flow context costs a bounded per-trap
+// lookup on benign workloads (SF-on cycles strictly above SF-off, by at
+// most SFCheck per flow check) and never flags the apps' own behavior —
+// the flow graph derived from each program covers its runtime orderings.
+func TestSFAblation(t *testing.T) {
+	for _, app := range Apps {
+		res, err := SFAblation(app, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OffViolations != 0 || res.OnViolations != 0 {
+			t.Errorf("%s: benign workload flagged: off=%d on=%d",
+				app, res.OffViolations, res.OnViolations)
+		}
+		if res.FlowChecks == 0 {
+			t.Fatalf("%s: SF-on run performed no flow checks", app)
+		}
+		if res.FlowChecks != res.Traps {
+			t.Errorf("%s: flow checks %d != traps %d (SF must run on every full-mode trap)",
+				app, res.FlowChecks, res.Traps)
+		}
+		if res.OnMonPerUnit <= res.OffMonPerUnit {
+			t.Errorf("%s: SF-on monitor cycles/unit %.1f not above SF-off %.1f",
+				app, res.OnMonPerUnit, res.OffMonPerUnit)
+		}
+		t.Logf("%s: mon cyc/unit %.1f -> %.1f, %d flow checks",
+			app, res.OffMonPerUnit, res.OnMonPerUnit, res.FlowChecks)
 	}
 }
 

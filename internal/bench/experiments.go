@@ -54,9 +54,9 @@ func Figure3(units int) ([]Figure3Row, error) {
 func RenderFigure3(rows []Figure3Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 3: performance overhead vs unprotected baseline (%%)\n")
-	fmt.Fprintf(&b, "%-8s %10s %8s %8s %10s %13s\n", "app", "LLVM CFI", "CET", "CET+CT", "CET+CT+CF", "CET+CT+CF+AI")
+	fmt.Fprintf(&b, "%-8s %10s %8s %8s %10s %16s\n", "app", "LLVM CFI", "CET", "CET+CT", "CET+CT+CF", "CET+CT+CF+AI+SF")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %10.2f %8.2f %8.2f %10.2f %13.2f\n", r.App,
+		fmt.Fprintf(&b, "%-8s %10.2f %8.2f %8.2f %10.2f %16.2f\n", r.App,
 			r.Overheads[MitCFI], r.Overheads[MitCET], r.Overheads[MitCETCT],
 			r.Overheads[MitCETCTCF], r.Overheads[MitFull])
 	}
@@ -284,7 +284,7 @@ func Table6() ([]Table6Row, error) {
 func RenderTable6(rows []Table6Row) string {
 	var b strings.Builder
 	b.WriteString("Table 6: exploits blocked per context (✓ blocks, × bypassed)\n")
-	fmt.Fprintf(&b, "%-18s %-58s %-3s %-3s %-3s %s\n", "id", "attack", "CT", "CF", "AI", "full")
+	fmt.Fprintf(&b, "%-18s %-58s %-3s %-3s %-3s %-3s %s\n", "id", "attack", "CT", "CF", "AI", "SF", "full")
 	mark := func(v bool) string {
 		if v {
 			return "✓"
@@ -298,10 +298,10 @@ func RenderTable6(rows []Table6Row) string {
 			cat = s.Category
 			fmt.Fprintf(&b, "-- %s --\n", cat)
 		}
-		fmt.Fprintf(&b, "%-18s %-58s %-3s %-3s %-3s %s\n",
+		fmt.Fprintf(&b, "%-18s %-58s %-3s %-3s %-3s %-3s %s\n",
 			s.ID, truncate(s.Name, 58),
 			mark(r.Verdict.CT), mark(r.Verdict.CF), mark(r.Verdict.AI),
-			mark(r.Verdict.FullBlocked))
+			mark(r.Verdict.SF), mark(r.Verdict.FullBlocked))
 	}
 	return b.String()
 }
@@ -601,6 +601,82 @@ func RenderCacheAblation(rows []*CacheAblationResult) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-8s %16.0f %16.0f %9.1f%% %13.2f %13.2f\n", r.App,
 			r.OffMonPerUnit, r.OnMonPerUnit, r.HitRate()*100,
+			r.OffOverhead, r.OnOverhead)
+	}
+	return b.String()
+}
+
+// --- Ablation: syscall-flow context ---
+
+// SFAblationResult compares full protection with the syscall-flow context
+// disabled (ct,cf,ai — the pre-SF configuration) and enabled for one
+// application. SF adds one transition-table lookup per full-mode trap, so
+// its runtime cost is bounded by FlowChecks × SFCheck cycles; the benign
+// workloads must stay violation-free either way (the ordering attacks it
+// exists for are proven by the attack matrix, not here).
+type SFAblationResult struct {
+	App string
+	// OffOverhead / OnOverhead are throughput overheads vs vanilla.
+	OffOverhead float64
+	OnOverhead  float64
+	// OffMonPerUnit / OnMonPerUnit are monitor cycles per work unit.
+	OffMonPerUnit float64
+	OnMonPerUnit  float64
+	// FlowChecks counts SF transition checks in the enabled run (zero in
+	// the disabled run by construction); Traps the enabled run's traps.
+	FlowChecks uint64
+	Traps      uint64
+	// OffViolations / OnViolations must both be zero: the flow graph
+	// derived from the program covers its own benign behavior.
+	OffViolations int
+	OnViolations  int
+}
+
+// SFAblation measures the syscall-flow ablation for one application.
+func SFAblation(app string, units int) (*SFAblationResult, error) {
+	base, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	spec := RunSpec{
+		App: app, Mitigation: MitFull, Units: units,
+		UseContexts: true,
+		Contexts:    monitor.CallType | monitor.ControlFlow | monitor.ArgIntegrity,
+	}
+	off, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.UseContexts = false
+	on, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	if got := off.Protected.Monitor.FlowChecks; got != 0 {
+		return nil, fmt.Errorf("%s: SF-disabled run performed %d flow checks", app, got)
+	}
+	return &SFAblationResult{
+		App:           app,
+		OffOverhead:   Overhead(base, off),
+		OnOverhead:    Overhead(base, on),
+		OffMonPerUnit: off.Workload.PerUnitMonitor(),
+		OnMonPerUnit:  on.Workload.PerUnitMonitor(),
+		FlowChecks:    on.Protected.Monitor.FlowChecks,
+		Traps:         on.Protected.Proc.TrapCount,
+		OffViolations: len(off.Protected.Monitor.Violations),
+		OnViolations:  len(on.Protected.Monitor.Violations),
+	}, nil
+}
+
+// RenderSFAblation formats the syscall-flow ablation rows.
+func RenderSFAblation(rows []*SFAblationResult) string {
+	var b strings.Builder
+	b.WriteString("Syscall-flow ablation: full protection with SF off (ct,cf,ai) vs on (monitor cycles per unit)\n")
+	fmt.Fprintf(&b, "%-8s %16s %16s %12s %8s %13s %13s\n", "app",
+		"off mon cyc/unit", "on mon cyc/unit", "flow checks", "traps", "off ovh %", "on ovh %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %16.0f %16.0f %12d %8d %13.2f %13.2f\n", r.App,
+			r.OffMonPerUnit, r.OnMonPerUnit, r.FlowChecks, r.Traps,
 			r.OffOverhead, r.OnOverhead)
 	}
 	return b.String()

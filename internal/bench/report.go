@@ -24,6 +24,7 @@ type Report struct {
 	InK     []*InKernelResult
 	Filter  []*FilterAblationResult
 	Cache   []*CacheAblationResult
+	SF      []*SFAblationResult
 	Offload []*OffloadAblationResult
 	Refine  []*RefineAblationResult
 	Obs     []*ObsAblationResult
@@ -63,6 +64,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 		InK:     make([]*InKernelResult, len(Apps)),
 		Filter:  make([]*FilterAblationResult, len(Apps)),
 		Cache:   make([]*CacheAblationResult, len(Apps)),
+		SF:      make([]*SFAblationResult, len(Apps)),
 		Offload: make([]*OffloadAblationResult, len(Apps)),
 		Refine:  make([]*RefineAblationResult, len(Apps)),
 		Obs:     make([]*ObsAblationResult, len(Apps)),
@@ -88,6 +90,7 @@ func CollectReportParallel(units, workers int) (*Report, error) {
 			task{"in-kernel " + app, func() (err error) { r.InK[i], err = InKernelAblation(app, units); return }},
 			task{"filter ablation " + app, func() (err error) { r.Filter[i], err = FilterAblation(app, units); return }},
 			task{"cache ablation " + app, func() (err error) { r.Cache[i], err = CacheAblation(app, units); return }},
+			task{"sf ablation " + app, func() (err error) { r.SF[i], err = SFAblation(app, units); return }},
 			task{"offload ablation " + app, func() (err error) { r.Offload[i], err = OffloadAblation(app, units); return }},
 			task{"refine ablation " + app, func() (err error) { r.Refine[i], err = RefineAblation(app, units); return }},
 			task{"obs ablation " + app, func() (err error) { r.Obs[i], err = ObsAblation(app, units); return }},
@@ -163,7 +166,7 @@ func (r *Report) Markdown() string {
 	b.WriteString("All numbers are deterministic simulator measurements; see EXPERIMENTS.md for paper comparison.\n\n")
 
 	b.WriteString("## Figure 3 — overhead per mitigation stack (%)\n\n")
-	b.WriteString("| app | LLVM CFI | CET | CET+CT | CET+CT+CF | CET+CT+CF+AI |\n|---|---|---|---|---|---|\n")
+	b.WriteString("| app | LLVM CFI | CET | CET+CT | CET+CT+CF | CET+CT+CF+AI+SF |\n|---|---|---|---|---|---|\n")
 	for _, row := range r.Figure3 {
 		fmt.Fprintf(&b, "| %s | %.2f | %.2f | %.2f | %.2f | %.2f |\n", row.App,
 			row.Overheads[MitCFI], row.Overheads[MitCET], row.Overheads[MitCETCT],
@@ -209,7 +212,7 @@ func (r *Report) Markdown() string {
 	stat("ctx_bind_const", func(x Table5Row) int { return x.CtxBindConst })
 	stat("total instrumentation", func(x Table5Row) int { return x.Total })
 
-	b.WriteString("\n## Table 6 — security case studies\n\n| attack | category | CT | CF | AI | full |\n|---|---|---|---|---|---|\n")
+	b.WriteString("\n## Table 6 — security case studies\n\n| attack | category | CT | CF | AI | SF | full |\n|---|---|---|---|---|---|---|\n")
 	mark := func(v bool) string {
 		if v {
 			return "✓"
@@ -218,9 +221,9 @@ func (r *Report) Markdown() string {
 	}
 	for _, row := range r.Table6 {
 		s := row.Verdict.Scenario
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n", s.ID, s.Category,
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n", s.ID, s.Category,
 			mark(row.Verdict.CT), mark(row.Verdict.CF), mark(row.Verdict.AI),
-			mark(row.Verdict.FullBlocked))
+			mark(row.Verdict.SF), mark(row.Verdict.FullBlocked))
 	}
 
 	b.WriteString("\n## Table 7 — file-system syscall extension\n\n| configuration | nginx | sqlite | vsftpd |\n|---|---|---|---|\n")
@@ -247,6 +250,15 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.1f%% | %.2f%% | %.2f%% |\n", cr.App,
 			cr.OffMonPerUnit, cr.OnMonPerUnit, cr.HitRate()*100,
 			cr.OffOverhead, cr.OnOverhead)
+	}
+
+	b.WriteString("\n## Syscall-flow ablation — SF context off vs on\n\n")
+	b.WriteString("Full protection with the syscall-flow context disabled (ct,cf,ai — the pre-SF configuration) and enabled. SF charges one transition-table lookup per full-mode trap; both runs must stay violation-free, since the flow graph is derived from the program's own CFG.\n\n")
+	b.WriteString("| app | off mon cyc/unit | on mon cyc/unit | flow checks | traps | off overhead | on overhead |\n|---|---|---|---|---|---|---|\n")
+	for _, sr := range r.SF {
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %d | %d | %.2f%% | %.2f%% |\n", sr.App,
+			sr.OffMonPerUnit, sr.OnMonPerUnit, sr.FlowChecks, sr.Traps,
+			sr.OffOverhead, sr.OnOverhead)
 	}
 
 	b.WriteString("\n## Verdict offload ablation — CT + const-arg checks answered in-filter\n\n")
@@ -310,15 +322,15 @@ func (r *Report) Markdown() string {
 // DefenseComparisonMarkdown renders representative attacks across every
 // defense configuration (one per Table 6 category plus the CVE family).
 func DefenseComparisonMarkdown() (string, error) {
-	ids := []string{"rop-exec-01", "direct-cscfi", "cve-2013-2028", "ind-newton-cpi", "ind-jujutsu"}
+	ids := []string{"rop-exec-01", "direct-cscfi", "cve-2013-2028", "ind-newton-cpi", "ind-jujutsu", "ord-setuid-replay"}
 	rows, err := attacks.CompareDefenses(ids)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	b.WriteString("## Defense comparison (representative attacks)\n\n")
-	b.WriteString("| attack | unprotected | CT | CF | AI | BASTION | CET | LLVM-CFI |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| attack | unprotected | CT | CF | AI | SF | BASTION | CET | LLVM-CFI |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
 	cell := func(r attacks.ComparisonRow, def string) string {
 		if !r.Blocked[def] {
 			return "×"
@@ -329,9 +341,9 @@ func DefenseComparisonMarkdown() (string, error) {
 		return "✓"
 	}
 	for _, r := range rows {
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %s |\n", r.Scenario.ID,
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %s | %s |\n", r.Scenario.ID,
 			cell(r, "unprotected"), cell(r, "CT"), cell(r, "CF"), cell(r, "AI"),
-			cell(r, "BASTION"), cell(r, "CET"), cell(r, "LLVM-CFI"))
+			cell(r, "SF"), cell(r, "BASTION"), cell(r, "CET"), cell(r, "LLVM-CFI"))
 	}
 	return b.String(), nil
 }

@@ -58,6 +58,11 @@ type Stats struct {
 	AllowedPairsRemoved  int
 	ExactIndirectSites   int // callsites whose target set resolved exactly
 	EscapedIndirectSites int // callsites that fell back to address-taken
+
+	// Syscall-flow graph statistics (SF context).
+	FlowNodes  int // distinct syscall nrs the program can emit
+	FlowEdges  int // legal nr→nr transitions
+	FlowStarts int // nrs that may open a fresh process
 }
 
 // Total returns the total instrumentation site count (Table 5 last row).
@@ -278,7 +283,8 @@ func (p *pass) buildMetadata() (*metadata.Metadata, error) {
 		meta.CallTypes[nr] = ct
 	}
 
-	p.buildCFG(meta)
+	pt := p.buildCFG(meta)
+	p.buildFlowGraph(meta, pt)
 
 	// Materialize argument sites with final addresses.
 	for key, draft := range p.argSites {
@@ -326,8 +332,9 @@ func (p *pass) buildMetadata() (*metadata.Metadata, error) {
 // buildCFG computes callee→valid-caller relations for every function on a
 // path to a sensitive syscall wrapper (§6.2): reverse reachability from
 // the sensitive wrappers over direct call edges, stopping at main and not
-// crossing indirect callsites.
-func (p *pass) buildCFG(meta *metadata.Metadata) {
+// crossing indirect callsites. It returns the points-to result so the
+// syscall-flow derivation can reuse the per-callsite target sets.
+func (p *pass) buildCFG(meta *metadata.Metadata) *pointsTo {
 	// Direct call graph: callee -> callers.
 	callers := map[string]map[string]bool{}
 	for _, f := range p.prog.Funcs {
@@ -442,6 +449,7 @@ func (p *pass) buildCFG(meta *metadata.Metadata) {
 	}
 	p.stats.IndirectEdgesRemoved = p.stats.IndirectEdgesCoarse - p.stats.IndirectEdgesRefined
 	p.stats.AllowedPairsRemoved = p.stats.AllowedPairsCoarse - p.stats.AllowedPairsRefined
+	return pt
 }
 
 // reachesAny reports whether any function in targets is in the

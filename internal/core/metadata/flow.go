@@ -1,0 +1,183 @@
+package metadata
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// NrSet is a set of syscall numbers, serialized as a sorted JSON array
+// (see AddrSet for why the set form is not serialized as an object).
+type NrSet map[uint32]bool
+
+// MarshalJSON emits the set as a numerically sorted array.
+func (s NrSet) MarshalJSON() ([]byte, error) {
+	nrs := make([]uint32, 0, len(s))
+	for nr := range s {
+		nrs = append(nrs, nr)
+	}
+	sort.Slice(nrs, func(i, j int) bool { return nrs[i] < nrs[j] })
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, nr := range nrs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(strconv.FormatUint(uint64(nr), 10))
+	}
+	buf.WriteByte(']')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON parses the sorted-array form.
+func (s *NrSet) UnmarshalJSON(data []byte) error {
+	var nrs []uint32
+	if err := json.Unmarshal(data, &nrs); err != nil {
+		return err
+	}
+	*s = make(NrSet, len(nrs))
+	for _, nr := range nrs {
+		(*s)[nr] = true
+	}
+	return nil
+}
+
+// NrNrSets maps a syscall number to a set of syscall numbers. Like
+// NrAddrSets it serializes as an object whose keys appear in numeric
+// order, with NrSet arrays as values.
+type NrNrSets map[uint32]NrSet
+
+// MarshalJSON emits the map with numerically sorted keys.
+func (m NrNrSets) MarshalJSON() ([]byte, error) {
+	nrs := make([]uint32, 0, len(m))
+	for nr := range m {
+		nrs = append(nrs, nr)
+	}
+	sort.Slice(nrs, func(i, j int) bool { return nrs[i] < nrs[j] })
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, nr := range nrs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(strconv.Quote(strconv.FormatUint(uint64(nr), 10)))
+		buf.WriteByte(':')
+		inner, err := m[nr].MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(inner)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON parses the object form.
+func (m *NrNrSets) UnmarshalJSON(data []byte) error {
+	raw := map[uint32]NrSet{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*m = raw
+	return nil
+}
+
+// FlowGraph is the statically derived syscall-transition graph of the
+// syscall-flow context (SFIP-style): which system call number may legally
+// follow which over any execution path of the program. Nodes are every
+// syscall number the program can emit; Edges[a] holds every nr that may
+// immediately follow a; Start holds the nrs that may be the first syscall
+// of a fresh process. An absent edge is an ordering the program's CFG
+// cannot produce, so observing it at runtime is a violation even when the
+// individual call passes the CT/CF/AI contexts.
+type FlowGraph struct {
+	// Start is the set of syscall numbers that may be emitted first.
+	Start NrSet `json:"start"`
+	// Edges maps a syscall number to the numbers allowed to follow it.
+	Edges NrNrSets `json:"edges"`
+	// Nodes is every syscall number the program can emit.
+	Nodes NrSet `json:"nodes"`
+}
+
+// NewFlowGraph returns an empty graph.
+func NewFlowGraph() *FlowGraph {
+	return &FlowGraph{Start: NrSet{}, Edges: NrNrSets{}, Nodes: NrSet{}}
+}
+
+// Empty reports whether the graph constrains nothing (no nodes). Metadata
+// predating the SF context, and programs without an entry function, carry
+// an empty graph; the monitor then lets every ordering pass.
+func (g *FlowGraph) Empty() bool { return g == nil || len(g.Nodes) == 0 }
+
+// AddStart records nr as a legal first syscall (and as a node).
+func (g *FlowGraph) AddStart(nr uint32) {
+	g.Start[nr] = true
+	g.Nodes[nr] = true
+}
+
+// AddEdge records that next may immediately follow prev (and both as
+// nodes).
+func (g *FlowGraph) AddEdge(prev, next uint32) {
+	if g.Edges[prev] == nil {
+		g.Edges[prev] = NrSet{}
+	}
+	g.Edges[prev][next] = true
+	g.Nodes[prev] = true
+	g.Nodes[next] = true
+}
+
+// AllowsStart reports whether nr may be the first syscall. An empty graph
+// allows everything.
+func (g *FlowGraph) AllowsStart(nr uint32) bool {
+	if g.Empty() {
+		return true
+	}
+	return g.Start[nr]
+}
+
+// Allows reports whether next may immediately follow prev. An empty graph
+// allows everything.
+func (g *FlowGraph) Allows(prev, next uint32) bool {
+	if g.Empty() {
+		return true
+	}
+	return g.Edges[prev][next]
+}
+
+// EdgeCount returns the number of transitions in the graph.
+func (g *FlowGraph) EdgeCount() int {
+	if g == nil {
+		return 0
+	}
+	n := 0
+	for _, set := range g.Edges {
+		n += len(set)
+	}
+	return n
+}
+
+// validate checks the graph's structural invariants: edge endpoints and
+// start nrs must all be declared nodes.
+func (g *FlowGraph) validate() error {
+	if g == nil {
+		return nil
+	}
+	for nr := range g.Start {
+		if !g.Nodes[nr] {
+			return fmt.Errorf("metadata: flow graph start nr %d is not a node", nr)
+		}
+	}
+	for prev, set := range g.Edges {
+		if !g.Nodes[prev] {
+			return fmt.Errorf("metadata: flow graph edge source %d is not a node", prev)
+		}
+		for next := range set {
+			if !g.Nodes[next] {
+				return fmt.Errorf("metadata: flow graph edge %d->%d target is not a node", prev, next)
+			}
+		}
+	}
+	return nil
+}

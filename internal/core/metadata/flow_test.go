@@ -1,0 +1,154 @@
+package metadata
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFlowGraphMarshalDeterministic locks the FlowGraph serialization:
+// node/start arrays numerically sorted, edge keys in numeric order, and
+// byte-stability across repeated marshals and a round trip.
+func TestFlowGraphMarshalDeterministic(t *testing.T) {
+	g := NewFlowGraph()
+	g.AddStart(10)
+	g.AddStart(9)
+	g.AddEdge(59, 2)
+	g.AddEdge(9, 10)
+	g.AddEdge(10, 9)
+	g.AddEdge(9, 59)
+
+	got, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatal("two marshals of the same graph differ")
+	}
+	s := string(got)
+	// Numeric key order in the edges object: 9 before 10 before 59.
+	edges := s[strings.Index(s, `"edges"`):]
+	last := -1
+	for _, key := range []string{`"9"`, `"10"`, `"59"`} {
+		i := strings.Index(edges, key)
+		if i < 0 {
+			t.Fatalf("edges is missing key %s", key)
+		}
+		if i < last {
+			t.Errorf("edges key %s out of numeric order", key)
+		}
+		last = i
+	}
+	// Sorted start array: [9,10], not the lexicographic [10,9].
+	if !strings.Contains(s, `"start":[9,10]`) {
+		t.Errorf("start set not numerically sorted: %s", s)
+	}
+	// Edge target sets sorted: 9's followers are [10,59].
+	if !strings.Contains(s, `"9":[10,59]`) {
+		t.Errorf("edge set for 9 not numerically sorted: %s", s)
+	}
+
+	var rt FlowGraph
+	if err := json.Unmarshal(got, &rt); err != nil {
+		t.Fatalf("round trip unmarshal: %v", err)
+	}
+	rtBytes, err := json.Marshal(&rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rtBytes) {
+		t.Fatalf("round trip changed the bytes:\n got %s\nback %s", got, rtBytes)
+	}
+}
+
+// TestFlowGraphQueries exercises the membership helpers, including the
+// empty-graph allow-everything fallback for pre-SF metadata.
+func TestFlowGraphQueries(t *testing.T) {
+	g := NewFlowGraph()
+	g.AddStart(9)
+	g.AddEdge(9, 59)
+
+	if !g.AllowsStart(9) || g.AllowsStart(59) {
+		t.Error("start-set membership wrong")
+	}
+	if !g.Allows(9, 59) || g.Allows(59, 9) || g.Allows(9, 9) {
+		t.Error("edge membership wrong")
+	}
+	if g.Empty() {
+		t.Error("populated graph reported empty")
+	}
+	if got := g.EdgeCount(); got != 1 {
+		t.Errorf("EdgeCount = %d, want 1", got)
+	}
+
+	var nilGraph *FlowGraph
+	if !nilGraph.Empty() || !nilGraph.Allows(1, 2) || !nilGraph.AllowsStart(3) {
+		t.Error("nil graph must constrain nothing")
+	}
+	if nilGraph.EdgeCount() != 0 {
+		t.Error("nil graph EdgeCount != 0")
+	}
+	empty := NewFlowGraph()
+	if !empty.Empty() || !empty.Allows(1, 2) || !empty.AllowsStart(3) {
+		t.Error("empty graph must constrain nothing")
+	}
+}
+
+// TestFlowGraphValidate rejects graphs whose edges or start nrs escape the
+// node set, via the Metadata.Validate entry point the sidecar loader uses.
+func TestFlowGraphValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *FlowGraph
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"empty", NewFlowGraph(), true},
+		{"consistent", func() *FlowGraph {
+			g := NewFlowGraph()
+			g.AddStart(9)
+			g.AddEdge(9, 59)
+			return g
+		}(), true},
+		{"start-not-node", &FlowGraph{Start: NrSet{9: true}, Edges: NrNrSets{}, Nodes: NrSet{}}, false},
+		{"edge-src-not-node", &FlowGraph{Start: NrSet{}, Edges: NrNrSets{9: {59: true}}, Nodes: NrSet{59: true}}, false},
+		{"edge-dst-not-node", &FlowGraph{Start: NrSet{}, Edges: NrNrSets{9: {59: true}}, Nodes: NrSet{9: true}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := New()
+			m.SyscallFlow = c.g
+			err := m.Validate()
+			if c.ok && err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+			if !c.ok && err == nil {
+				t.Error("Validate() accepted an inconsistent graph")
+			}
+		})
+	}
+}
+
+// TestUnmarshalRejectsInconsistentFlowGraph proves a hand-edited sidecar
+// with a malformed transition graph never reaches the monitor.
+func TestUnmarshalRejectsInconsistentFlowGraph(t *testing.T) {
+	m := New()
+	m.SyscallFlow.AddStart(9)
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := regexp.MustCompile(`(?s)"nodes": \[.*?\]`).ReplaceAll(data, []byte(`"nodes": []`))
+	if bytes.Equal(bad, data) {
+		t.Fatalf("fixture edit did not apply; marshal form changed? %s", data)
+	}
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("Unmarshal accepted a start nr outside the node set")
+	}
+}

@@ -44,6 +44,13 @@ func goldenMeta() *Metadata {
 	m.ArgSites[0x400020] = ArgSite{Addr: 0x400020, Caller: "main", Target: "open",
 		SyscallNr: 2, IsSyscall: true,
 		Args: []ArgSpec{{Pos: 1, Kind: ArgConst, Const: 7}}}
+	// Transition graph with scrambled insertion order: nodes 2, 9, 10, 59;
+	// numeric key order must hold for edges too ("9" before "10").
+	m.SyscallFlow.AddStart(9)
+	m.SyscallFlow.AddEdge(59, 2)
+	m.SyscallFlow.AddEdge(9, 10)
+	m.SyscallFlow.AddEdge(10, 59)
+	m.SyscallFlow.AddEdge(9, 9)
 	return m
 }
 

@@ -284,6 +284,11 @@ type Metadata struct {
 	// ArgSites maps callsite address to its argument-integrity record.
 	ArgSites map[uint64]ArgSite `json:"arg_sites"`
 
+	// SyscallFlow is the syscall-transition graph of the syscall-flow
+	// context. Nil (metadata predating the context) and empty graphs
+	// constrain nothing.
+	SyscallFlow *FlowGraph `json:"syscall_flow,omitempty"`
+
 	// Entry is the program entry function.
 	Entry string `json:"entry"`
 }
@@ -298,6 +303,7 @@ func New() *Metadata {
 		IndirectTargets: NameSet{},
 		AllowedIndirect: NrAddrSets{},
 		ArgSites:        map[uint64]ArgSite{},
+		SyscallFlow:     NewFlowGraph(),
 	}
 }
 
@@ -364,6 +370,9 @@ func (m *Metadata) Validate() error {
 				}
 			}
 		}
+	}
+	if err := m.SyscallFlow.validate(); err != nil {
+		return err
 	}
 	return nil
 }

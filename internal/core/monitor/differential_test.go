@@ -78,6 +78,8 @@ var differentialCases = []struct {
 	{"full/CT", monitor.CallType, monitor.ModeFull},
 	{"full/CF", monitor.ControlFlow, monitor.ModeFull},
 	{"full/AI", monitor.ArgIntegrity, monitor.ModeFull},
+	{"full/SF", monitor.SyscallFlow, monitor.ModeFull},
+	{"full/no-SF", monitor.CallType | monitor.ControlFlow | monitor.ArgIntegrity, monitor.ModeFull},
 	{"full/all", monitor.AllContexts, monitor.ModeFull},
 	{"fetch-only/all", monitor.AllContexts, monitor.ModeFetchOnly},
 	{"hook-only/all", monitor.AllContexts, monitor.ModeHookOnly},

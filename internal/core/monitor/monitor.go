@@ -32,8 +32,15 @@ const (
 	CallType Context = 1 << iota
 	ControlFlow
 	ArgIntegrity
+	// SyscallFlow enforces syscall ordering: each trapped syscall must be a
+	// legal successor of the previously trapped one under the statically
+	// derived transition graph (metadata.FlowGraph), projected at attach
+	// time onto the set of syscalls the policy actually traps. It is the
+	// only context with cross-trap state, so its verdict is never cached
+	// and it disqualifies verdict offload (see DeriveOffload).
+	SyscallFlow
 
-	AllContexts = CallType | ControlFlow | ArgIntegrity
+	AllContexts = CallType | ControlFlow | ArgIntegrity | SyscallFlow
 )
 
 func (c Context) String() string {
@@ -44,9 +51,11 @@ func (c Context) String() string {
 		return "control-flow"
 	case ArgIntegrity:
 		return "argument-integrity"
+	case SyscallFlow:
+		return "syscall-flow"
 	}
 	s := ""
-	for _, one := range []Context{CallType, ControlFlow, ArgIntegrity} {
+	for _, one := range []Context{CallType, ControlFlow, ArgIntegrity, SyscallFlow} {
 		if c&one != 0 {
 			if s != "" {
 				s += "+"
@@ -95,6 +104,9 @@ type Costs struct {
 	CFPerFrame     uint64
 	AIPerArg       uint64
 	PointeePerByte uint64
+	// SFCheck is the syscall-flow transition check: one edge-set membership
+	// probe per trap, cheaper than CTCheck because no stack is consulted.
+	SFCheck uint64
 	// CacheLookup / CacheInsert are the verdict-cache charges: every
 	// cache-enabled trap pays one lookup; a passing miss also pays one
 	// insert. A hit then skips the CT, CF, and constant-argument charges,
@@ -107,7 +119,7 @@ type Costs struct {
 func DefaultCosts() Costs {
 	return Costs{
 		TrapRoundTrip: 2600, CTCheck: 60, CFPerFrame: 35, AIPerArg: 90, PointeePerByte: 2,
-		CacheLookup: 18, CacheInsert: 45,
+		SFCheck: 25, CacheLookup: 18, CacheInsert: 45,
 	}
 }
 
@@ -237,6 +249,11 @@ type Monitor struct {
 	CacheInserts   uint64
 	CacheEvictions uint64
 
+	// FlowChecks counts syscall-flow transition checks: every ModeFull
+	// trap while the context is enforced, cache hits included (the SF
+	// verdict is never cached).
+	FlowChecks uint64
+
 	// Offload is the in-filter verdict plan derived at attach time (empty
 	// unless Config.Offload qualified anything). Syscalls it covers are
 	// decided inside the seccomp program and never reach Trap; the kernel's
@@ -254,6 +271,19 @@ type Monitor struct {
 
 	cache *verdictCache
 
+	// Syscall-flow enforcement state (SyscallFlow context). sfStart and
+	// sfEdges are the attach-time projection of the metadata transition
+	// graph onto the trapped syscall set; sfPrev/sfActive are the
+	// per-process transition state — the only cross-trap enforcement state
+	// the monitor keeps, which is why syscall-flow verdicts are never
+	// cached and never offloaded. sfEnforce is false when the context is
+	// disabled or the metadata carries no (or an empty) flow graph.
+	sfEnforce bool
+	sfStart   map[uint32]struct{}
+	sfEdges   map[uint64]struct{}
+	sfPrev    uint32
+	sfActive  bool
+
 	// Per-trap telemetry scratch, reused across traps so the nil-sink
 	// path adds no allocations to the hot path.
 	stat         trapStat
@@ -261,9 +291,9 @@ type Monitor struct {
 	frameScratch []stackFrame
 	histByNr     map[uint32]*obs.Histogram
 
-	violCounter                                         *obs.Counter
-	cycFetch, cycUnwind, cycLookup, cycCT, cycCF, cycAI *obs.Counter
-	histTrap, histDepth, histPointee                    *obs.Histogram
+	violCounter                                                *obs.Counter
+	cycFetch, cycUnwind, cycLookup, cycCT, cycCF, cycAI, cycSF *obs.Counter
+	histTrap, histDepth, histPointee                           *obs.Histogram
 }
 
 // trapStat accumulates one trap's telemetry while it executes. Stage
@@ -275,12 +305,12 @@ type trapStat struct {
 	nr      uint32
 	fetched bool
 
-	fetch, unwind, lookup, ct, cf, ai uint64
+	fetch, unwind, lookup, ct, cf, ai, sf uint64
 
-	vCT, vCF, vAI obs.Verdict
-	cache         obs.CacheOutcome
-	depth         int
-	pointee       uint64
+	vCT, vCF, vAI, vSF obs.Verdict
+	cache              obs.CacheOutcome
+	depth              int
+	pointee            uint64
 }
 
 // Attach prepares a process for protection: maps the shadow region into
@@ -310,6 +340,7 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 	if cfg.VerdictCache {
 		m.cache = newVerdictCache(cfg.VerdictCacheCap)
 	}
+	m.buildFlowProjection()
 	m.initTelemetry()
 	if err := shadow.MapRegion(proc.M.Mem); err != nil {
 		return nil, fmt.Errorf("monitor: mapping shadow region: %w", err)
@@ -343,6 +374,75 @@ func Attach(proc *kernel.Process, meta *metadata.Metadata, cfg Config) (*Monitor
 	return m, nil
 }
 
+// buildFlowProjection projects the metadata transition graph onto the set
+// of syscalls the seccomp policy actually traps. The monitor only observes
+// trapped syscalls, so an edge a→b is legal in the projection iff the full
+// graph admits a path a→…→b whose intermediate nodes are all untrapped;
+// likewise a trapped syscall may open the flow iff some graph start
+// reaches it through untrapped nodes only. Offload never shrinks the
+// trapped set here because SyscallFlow disqualifies offload entirely
+// (DeriveOffload): an in-filter allow would advance real execution without
+// advancing sfPrev, desynchronizing the state machine.
+func (m *Monitor) buildFlowProjection() {
+	g := m.Meta.SyscallFlow
+	if m.Cfg.Contexts&SyscallFlow == 0 || m.Cfg.Mode != ModeFull || g.Empty() {
+		return
+	}
+	// Trapped = syscalls whose policy action is SECCOMP_RET_TRACE. Derived
+	// from the same BuildPolicy the installed filter compiles, so the
+	// projection and the filter can never disagree about observability.
+	pol := BuildPolicy(m.Meta, m.Cfg)
+	trapped := func(nr uint32) bool {
+		return pol.Actions[nr] == seccomp.RetTrace
+	}
+	// closure returns every trapped node reachable from the given frontier
+	// through untrapped intermediate nodes (the frontier nodes themselves
+	// are tested first: a trapped frontier node terminates its path).
+	closure := func(frontier []uint32) map[uint32]struct{} {
+		out := map[uint32]struct{}{}
+		seen := map[uint32]bool{}
+		for len(frontier) > 0 {
+			nr := frontier[0]
+			frontier = frontier[1:]
+			if seen[nr] {
+				continue
+			}
+			seen[nr] = true
+			if trapped(nr) {
+				out[nr] = struct{}{}
+				continue
+			}
+			for succ := range g.Edges[nr] {
+				if !seen[succ] {
+					frontier = append(frontier, succ)
+				}
+			}
+		}
+		return out
+	}
+	m.sfStart = closure(setKeys(g.Start))
+	m.sfEdges = map[uint64]struct{}{}
+	for nr := range g.Nodes {
+		if !trapped(nr) {
+			continue
+		}
+		for succ := range closure(setKeys(g.Edges[nr])) {
+			m.sfEdges[uint64(nr)<<32|uint64(succ)] = struct{}{}
+		}
+	}
+	m.sfEnforce = true
+}
+
+// setKeys collects an NrSet's members; order is irrelevant because the
+// closure computed over them is order-independent.
+func setKeys(s metadata.NrSet) []uint32 {
+	out := make([]uint32, 0, len(s))
+	for nr := range s {
+		out = append(out, nr)
+	}
+	return out
+}
+
 // initTelemetry builds the metrics registry, binds the pre-existing
 // exported counter fields and the per-syscall check map into it, and
 // sets up the flight recorder and the unwind scratch.
@@ -353,6 +453,7 @@ func (m *Monitor) initTelemetry() {
 	r.BindCounter("monitor_cache_misses_total", &m.CacheMisses)
 	r.BindCounter("monitor_cache_inserts_total", &m.CacheInserts)
 	r.BindCounter("monitor_cache_evictions_total", &m.CacheEvictions)
+	r.BindCounter("monitor_flow_checks_total", &m.FlowChecks)
 	r.BindCounterMap("monitor_checks_total", m.ChecksByNr, kernel.Name)
 	if m.proc != nil {
 		// The kernel counts RET_LOG allows per syscall; with offload active
@@ -366,6 +467,7 @@ func (m *Monitor) initTelemetry() {
 	m.cycCT = r.Counter("monitor_cycles_ct_total")
 	m.cycCF = r.Counter("monitor_cycles_cf_total")
 	m.cycAI = r.Counter("monitor_cycles_ai_total")
+	m.cycSF = r.Counter("monitor_cycles_sf_total")
 	m.histTrap = r.Histogram("monitor_trap_cycles", obs.CycleBuckets)
 	m.histDepth = r.Histogram("monitor_unwind_depth", obs.DepthBuckets)
 	m.histPointee = r.Histogram("monitor_pointee_bytes", obs.ByteBuckets)
@@ -513,6 +615,41 @@ func (m *Monitor) trap(p *kernel.Process) error {
 	if m.Cfg.Mode == ModeFetchOnly {
 		return nil
 	}
+	violated := false
+
+	// Syscall-flow context: the transition check runs before the verdict
+	// cache and on every ModeFull trap (including the accept fast path)
+	// because its verdict depends on sfPrev — cross-trap state no
+	// (nr, trace, regs) cache key captures — and because the state machine
+	// must advance on every observed syscall, violations and report-only
+	// runs included, to keep judging later transitions from the syscall
+	// that actually executed.
+	if m.sfEnforce {
+		c = *clk
+		m.FlowChecks++
+		p.K.Clock.Add(m.Cfg.Costs.SFCheck)
+		var v *Violation
+		if !m.sfActive {
+			if _, ok := m.sfStart[nr]; !ok {
+				v = &Violation{Context: SyscallFlow, Nr: nr,
+					Reason: fmt.Sprintf("%s cannot be the first trapped syscall", kernel.Name(nr))}
+			}
+		} else if _, ok := m.sfEdges[uint64(m.sfPrev)<<32|uint64(nr)]; !ok {
+			v = &Violation{Context: SyscallFlow, Nr: nr,
+				Reason: fmt.Sprintf("transition %s -> %s is outside the flow graph", kernel.Name(m.sfPrev), kernel.Name(nr))}
+		}
+		m.sfPrev, m.sfActive = nr, true
+		st.sf = *clk - c
+		if v != nil {
+			st.vSF = obs.VerdictViolation
+			violated = true
+			if err := m.flag(*v); err != nil {
+				return err
+			}
+		} else {
+			st.vSF = obs.VerdictPass
+		}
+	}
 
 	// Verdict cache: the key must be computed over the full fetched state
 	// (trace, clean bit, const-arg registers), so lookup happens after the
@@ -537,7 +674,6 @@ func (m *Monitor) trap(p *kernel.Process) error {
 		}
 		st.lookup = *clk - c
 	}
-	violated := false
 
 	if m.Cfg.Contexts&CallType != 0 {
 		if hit {
@@ -666,6 +802,7 @@ func (m *Monitor) observe(p *kernel.Process, seq uint64, nViol int) {
 	m.cycCT.Add(st.ct)
 	m.cycCF.Add(st.cf)
 	m.cycAI.Add(st.ai)
+	m.cycSF.Add(st.sf)
 	m.histTrap.Observe(end - st.start)
 	if st.fetched {
 		m.histDepth.Observe(uint64(st.depth))
@@ -695,10 +832,11 @@ func (m *Monitor) observe(p *kernel.Process, seq uint64, nViol int) {
 		CT:     st.vCT,
 		CF:     st.vCF,
 		AI:     st.vAI,
+		SF:     st.vSF,
 		Cache:  st.cache,
 		Cycles: obs.CycleBreakdown{
 			Fetch: st.fetch, Unwind: st.unwind, CacheLookup: st.lookup,
-			CT: st.ct, CF: st.cf, AI: st.ai,
+			CT: st.ct, CF: st.cf, AI: st.ai, SF: st.sf,
 		},
 		UnwindDepth:  st.depth,
 		PointeeBytes: st.pointee,
@@ -759,6 +897,25 @@ func (m *Monitor) OffloadAvoided() uint64 {
 	}
 	return n
 }
+
+// FlowState returns the syscall-flow transition state: the last trapped
+// syscall number and whether any syscall has been observed yet. Exposed
+// for the cache-soundness and fault-injection suites.
+func (m *Monitor) FlowState() (nr uint32, active bool) {
+	return m.sfPrev, m.sfActive
+}
+
+// SetFlowState overwrites the syscall-flow transition state. It exists so
+// the soundness suites can corrupt the cross-trap state between two
+// otherwise identical traps and prove the verdict cache never masks the
+// resulting violation.
+func (m *Monitor) SetFlowState(nr uint32, active bool) {
+	m.sfPrev, m.sfActive = nr, active
+}
+
+// FlowEnforced reports whether the syscall-flow context is live: enabled,
+// ModeFull, and backed by a non-empty projected graph.
+func (m *Monitor) FlowEnforced() bool { return m.sfEnforce }
 
 // ViolatedContexts returns the union of violated contexts recorded so far.
 func (m *Monitor) ViolatedContexts() Context {

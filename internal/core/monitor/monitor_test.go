@@ -77,10 +77,33 @@ func buildVictim() *ir.Program {
 	eb.Ret(ir.R(r2))
 	p.AddFunc(eb.Build())
 
+	// main's CFG covers every order the tests drive top-level — repeated
+	// do_protect, re-running setup, and do_exec either fresh or after a
+	// protect — so the derived syscall-flow graph admits them. All the
+	// guard branches are false at runtime: the executed path is still
+	// setup, dispatch, one do_protect.
 	mb := ir.NewBuilder("main", 0)
+	mb.Local("i", 8)
+	mb.StoreLocal("i", ir.Imm(1))
+	iv := mb.LoadLocal("i")
+	execFirst := mb.Bin(ir.OpEq, ir.R(iv), ir.Imm(2))
+	mb.BranchNZ(ir.R(execFirst), "exec_only")
+	mb.Label("round")
 	mb.Call("setup")
 	mb.Call("dispatch")
+	mb.Label("protect_loop")
 	mb.Call("do_protect")
+	iv2 := mb.LoadLocal("i")
+	more := mb.Bin(ir.OpEq, ir.R(iv2), ir.Imm(2))
+	mb.BranchNZ(ir.R(more), "protect_loop")
+	iv3 := mb.LoadLocal("i")
+	again := mb.Bin(ir.OpEq, ir.R(iv3), ir.Imm(3))
+	mb.BranchNZ(ir.R(again), "round")
+	ex := mb.Bin(ir.OpEq, ir.R(iv3), ir.Imm(4))
+	mb.BranchNZ(ir.R(ex), "exec_only")
+	mb.Ret(ir.Imm(0))
+	mb.Label("exec_only")
+	mb.Call("do_exec")
 	mb.Ret(ir.Imm(0))
 	p.AddFunc(mb.Build())
 	return p
@@ -311,7 +334,7 @@ func TestModesCostOrdering(t *testing.T) {
 }
 
 func TestContextSubsets(t *testing.T) {
-	for _, ctx := range []monitor.Context{monitor.CallType, monitor.ControlFlow, monitor.ArgIntegrity, monitor.AllContexts} {
+	for _, ctx := range []monitor.Context{monitor.CallType, monitor.ControlFlow, monitor.ArgIntegrity, monitor.SyscallFlow, monitor.AllContexts} {
 		cfg := monitor.DefaultConfig()
 		cfg.Contexts = ctx
 		prot := launch(t, cfg)
@@ -384,8 +407,14 @@ func TestUnprotectedBaselineRuns(t *testing.T) {
 }
 
 func TestContextStringRendering(t *testing.T) {
-	if monitor.AllContexts.String() != "call-type+control-flow+argument-integrity" {
+	if monitor.AllContexts.String() != "call-type+control-flow+argument-integrity+syscall-flow" {
 		t.Fatalf("AllContexts = %q", monitor.AllContexts.String())
+	}
+	if monitor.SyscallFlow.String() != "syscall-flow" {
+		t.Fatalf("SyscallFlow = %q", monitor.SyscallFlow.String())
+	}
+	if got := (monitor.CallType | monitor.SyscallFlow).String(); got != "call-type+syscall-flow" {
+		t.Fatalf("CT|SF = %q", got)
 	}
 	if monitor.Context(0).String() != "none" {
 		t.Fatal("zero context string")
@@ -398,7 +427,7 @@ func TestMonitorReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := prot.Monitor.Report()
-	for _, want := range []string{"contexts=call-type+control-flow+argument-integrity", "mode=full", "mmap", "mprotect", "no violations"} {
+	for _, want := range []string{"contexts=call-type+control-flow+argument-integrity+syscall-flow", "mode=full", "mmap", "mprotect", "no violations"} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}

@@ -47,6 +47,12 @@ func (p *OffloadPlan) Has(nr uint32) bool {
 //     exist to measure trap machinery, so their traps must keep happening.
 //   - Control-flow enabled disqualifies everything: the CF context judges
 //     the whole unwound stack, which a filter cannot see.
+//   - Syscall-flow enabled disqualifies everything: the SF context keeps
+//     cross-trap transition state, and an in-filter allow would let real
+//     execution advance without advancing that state. The kernel's RET_LOG
+//     counts are per-nr aggregates with no ordering, so they cannot
+//     soundly replay the skipped transitions either — the only sound
+//     option is to keep every trap.
 //   - Sensitive (Table 1) syscalls always trap. Their argument-integrity
 //     rules include pointee walks and unknown-callsite checks that need
 //     guest memory, so the offloadable set is exactly the ExtendFS
@@ -66,7 +72,7 @@ func DeriveOffload(meta *metadata.Metadata, cfg Config) *OffloadPlan {
 	if !cfg.Offload || cfg.Mode != ModeFull || !cfg.ExtendFS {
 		return plan
 	}
-	if cfg.Contexts&ControlFlow != 0 {
+	if cfg.Contexts&(ControlFlow|SyscallFlow) != 0 {
 		return plan
 	}
 	for _, nr := range kernel.FileSystemSyscalls {

@@ -17,9 +17,10 @@ import (
 )
 
 // offloadCases sweeps the context sets the offload interacts with: the
-// qualifying no-control-flow shapes (CT, AI, CT+AI), the disqualifying
-// full context set (CF judges the unwound stack, so the plan must be
-// empty), and the reduced modes (whose traps must keep happening).
+// qualifying shapes (CT, AI, CT+AI — no cross-trap or stack state), the
+// disqualifying ones (CF judges the unwound stack; SF keeps cross-trap
+// transition state that an in-filter allow would silently skip), and the
+// reduced modes (whose traps must keep happening).
 var offloadCases = []struct {
 	name     string
 	contexts monitor.Context
@@ -29,6 +30,8 @@ var offloadCases = []struct {
 	{"full/CT", monitor.CallType, monitor.ModeFull, true},
 	{"full/AI", monitor.ArgIntegrity, monitor.ModeFull, true},
 	{"full/CT+AI", monitor.CallType | monitor.ArgIntegrity, monitor.ModeFull, true},
+	{"full/SF", monitor.SyscallFlow, monitor.ModeFull, false},
+	{"full/CT+AI+SF", monitor.CallType | monitor.ArgIntegrity | monitor.SyscallFlow, monitor.ModeFull, false},
 	{"full/all", monitor.AllContexts, monitor.ModeFull, false},
 	{"fetch-only/all", monitor.AllContexts, monitor.ModeFetchOnly, false},
 	{"hook-only/all", monitor.AllContexts, monitor.ModeHookOnly, false},

@@ -118,3 +118,27 @@ func TestConstMatchesBranches(t *testing.T) {
 		t.Fatal("not-callable syscall offloaded")
 	}
 }
+
+// TestSyscallFlowDisqualifiesOffload: the SF context keeps cross-trap
+// transition state, so any context set containing it must derive an empty
+// plan — an in-filter allow would let execution advance without advancing
+// that state, and the per-nr RET_LOG aggregates cannot replay ordering.
+func TestSyscallFlowDisqualifiesOffload(t *testing.T) {
+	meta := offloadMeta(nil) // read callable, no sites: offloadable baseline
+	base := offloadUnitCfg()
+	if plan := DeriveOffload(meta, base); !plan.Has(kernel.SysRead) {
+		t.Fatal("baseline config should offload read")
+	}
+	for _, ctx := range []Context{
+		SyscallFlow,
+		CallType | ArgIntegrity | SyscallFlow,
+		AllContexts,
+	} {
+		cfg := base
+		cfg.Contexts = ctx
+		if plan := DeriveOffload(meta, cfg); len(plan.Rules) != 0 {
+			t.Errorf("contexts %v derived rules for %v; SF must keep every trap",
+				ctx, plan.Offloaded())
+		}
+	}
+}

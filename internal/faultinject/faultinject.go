@@ -1,0 +1,421 @@
+// Package faultinject runs an SFP-style fault-injection campaign against
+// a fully monitored guest. Each run plants one deterministic single-bit
+// (or single-slot) corruption in a chosen part of the machine state — a
+// spilled syscall argument, a saved return address, a registered code
+// pointer, the monitor's cross-trap syscall-flow state, or cold data —
+// then drives the victim's normal workload and records what happens: which
+// BASTION context catches the corruption, whether the VM fail-stops on its
+// own, or whether the fault is benign. Aggregated over many seeds the runs
+// form a context-by-context catch matrix: the experimental counterpart to
+// the differential attack matrix, showing that each context covers the
+// state the others cannot see.
+//
+// Everything is deterministic. Faults derive from a fixed-increment LCG
+// over the seed, the victim and monitor are freshly constructed per run,
+// and the rendered matrix is byte-stable — golden-tested and cheap enough
+// for a CI smoke step.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bastion/internal/apps/guestlibc"
+	"bastion/internal/core"
+	"bastion/internal/core/monitor"
+	"bastion/internal/ir"
+	"bastion/internal/kernel"
+	"bastion/internal/vm"
+)
+
+// Fault targets: each names one corruptible piece of state and implies
+// the drive sequence that exposes it.
+const (
+	// TargetArgSlot flips a bit in the wrapper's spilled prot argument
+	// after instrumentation recorded the legitimate value — exactly the
+	// window the argument-integrity context exists for.
+	TargetArgSlot = "arg-slot"
+	// TargetRetAddr flips a bit in the saved return address of the frame
+	// above the syscall wrapper: the unwound stack no longer ends at a
+	// valid call site, which is the control-flow context's check.
+	TargetRetAddr = "ret-addr"
+	// TargetCodePtr flips a random low bit of the registered handler
+	// pointer. The flipped address almost never lands on a function
+	// entry, so the VM itself fail-stops the indirect call.
+	TargetCodePtr = "code-ptr"
+	// TargetCodePtrStub redirects the handler pointer at a syscall stub
+	// entry (the NEWTON-style corruption): the call-type context — or the
+	// in-filter kill for never-referenced stubs — answers.
+	TargetCodePtrStub = "code-ptr-stub"
+	// TargetFlowState flips a bit of the monitor's own (nr, active)
+	// transition state between two legitimate traps: only the stateful
+	// syscall-flow context can notice its history was rewritten.
+	TargetFlowState = "flow-state"
+	// TargetData flips a bit in a global buffer no syscall ever consumes:
+	// the control fault, expected benign under every context.
+	TargetData = "data"
+)
+
+// Targets lists every fault class in campaign order.
+var Targets = []string{
+	TargetArgSlot, TargetRetAddr, TargetCodePtr,
+	TargetCodePtrStub, TargetFlowState, TargetData,
+}
+
+// Result is the outcome of one injection run.
+type Result struct {
+	Target string
+	Seed   uint64
+	// Bit is the flipped bit index within the target word (or the stub
+	// index for TargetCodePtrStub).
+	Bit uint
+	// Outcome is "benign", "fail-stop", "caught:seccomp", or
+	// "caught:<context>" naming the monitor context that detected it.
+	Outcome string
+}
+
+// Campaign is a deterministic fault-injection sweep: Seeds runs per
+// target in Targets.
+type Campaign struct {
+	Seeds int
+}
+
+// lcg advances the fixed-increment linear congruential generator every
+// fault derives from (Knuth's MMIX constants). No wall-clock or global
+// randomness: the same campaign always produces the same matrix.
+func lcg(s uint64) uint64 { return s*6364136223846793005 + 1442695040888963407 }
+
+// mix folds the target name into the seed so different targets at the
+// same seed index draw independent streams.
+func mix(target string, seed uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(target); i++ {
+		h = (h ^ uint64(target[i])) * 1099511628211
+	}
+	return lcg(h ^ seed)
+}
+
+// buildVictim constructs the campaign guest: a setup/dispatch/protect/exec
+// skeleton mirroring the paper's victim patterns, plus a cold scratch
+// buffer for the benign-fault control. main's CFG admits repeated protect
+// rounds, re-setup, and a trailing exec so the derived flow graph gives
+// the legitimate drive sequences room to run.
+func buildVictim() *ir.Program {
+	p := guestlibc.NewProgram()
+	p.AddGlobal(&ir.Global{Name: "region", Size: 8})
+	p.AddGlobal(&ir.Global{Name: "pathbuf", Size: 32})
+	p.AddGlobal(&ir.Global{Name: "handler", Size: 8})
+	p.AddGlobal(&ir.Global{Name: "scratch", Size: 64})
+
+	sb := ir.NewBuilder("setup", 0)
+	addr := sb.Call("mmap", ir.Imm(0), ir.Imm(8192), ir.Imm(3), ir.Imm(0x22), ir.Imm(-1), ir.Imm(0))
+	g := sb.GlobalLea("region", 0)
+	sb.Store(g, 0, ir.R(addr), 8)
+	h := sb.GlobalLea("handler", 0)
+	fp := sb.FuncAddr("helper")
+	sb.Store(h, 0, ir.R(fp), 8)
+	sb.Ret(ir.Imm(0))
+	p.AddFunc(sb.Build())
+
+	hb := ir.NewBuilder("helper", 0)
+	hb.Ret(ir.Imm(42))
+	p.AddFunc(hb.Build())
+
+	db := ir.NewBuilder("dispatch", 0)
+	hp := db.GlobalLea("handler", 0)
+	target := db.Load(hp, 0, 8)
+	r := db.CallInd(target, "i64()")
+	db.Ret(ir.R(r))
+	p.AddFunc(db.Build())
+
+	pb := ir.NewBuilder("do_protect", 0)
+	pb.Local("prot", 8)
+	pa := pb.Lea("prot", 0)
+	pb.Store(pa, 0, ir.Imm(1), 8)
+	rg := pb.GlobalLea("region", 0)
+	base := pb.Load(rg, 0, 8)
+	pv := pb.Load(pb.Lea("prot", 0), 0, 8)
+	res := pb.Call("mprotect", ir.R(base), ir.Imm(4096), ir.R(pv))
+	pb.Ret(ir.R(res))
+	p.AddFunc(pb.Build())
+
+	eb := ir.NewBuilder("do_exec", 0)
+	pbuf := eb.GlobalLea("pathbuf", 0)
+	path := "/bin/app"
+	for i := 0; i < len(path); i++ {
+		eb.Store(pbuf, int64(i), ir.Imm(int64(path[i])), 1)
+	}
+	eb.Store(pbuf, int64(len(path)), ir.Imm(0), 1)
+	pbuf2 := eb.GlobalLea("pathbuf", 0)
+	r2 := eb.Call("execve", ir.R(pbuf2), ir.Imm(0), ir.Imm(0))
+	eb.Ret(ir.R(r2))
+	p.AddFunc(eb.Build())
+
+	mb := ir.NewBuilder("main", 0)
+	mb.Local("i", 8)
+	mb.StoreLocal("i", ir.Imm(1))
+	iv := mb.LoadLocal("i")
+	execFirst := mb.Bin(ir.OpEq, ir.R(iv), ir.Imm(2))
+	mb.BranchNZ(ir.R(execFirst), "exec_only")
+	mb.Label("round")
+	mb.Call("setup")
+	mb.Call("dispatch")
+	mb.Label("protect_loop")
+	mb.Call("do_protect")
+	iv2 := mb.LoadLocal("i")
+	more := mb.Bin(ir.OpEq, ir.R(iv2), ir.Imm(2))
+	mb.BranchNZ(ir.R(more), "protect_loop")
+	iv3 := mb.LoadLocal("i")
+	again := mb.Bin(ir.OpEq, ir.R(iv3), ir.Imm(3))
+	mb.BranchNZ(ir.R(again), "round")
+	ex := mb.Bin(ir.OpEq, ir.R(iv3), ir.Imm(4))
+	mb.BranchNZ(ir.R(ex), "exec_only")
+	mb.Ret(ir.Imm(0))
+	mb.Label("exec_only")
+	mb.Call("do_exec")
+	mb.Ret(ir.Imm(0))
+	p.AddFunc(mb.Build())
+	return p
+}
+
+// stubNames are the syscall stubs TargetCodePtrStub can redirect at:
+// mprotect and execve are referenced (direct-only) wrappers, the rest are
+// present-but-never-referenced libc stubs whose in-filter action is kill.
+var stubNames = []string{"mprotect", "execve", "setuid", "chmod", "socket"}
+
+// Run executes the campaign: Seeds runs for each target, one fresh
+// monitored guest per run.
+func (c Campaign) Run() ([]Result, error) {
+	art, err := core.Compile(buildVictim(), core.CompileOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: compile: %w", err)
+	}
+	var out []Result
+	for _, target := range Targets {
+		for seed := uint64(0); seed < uint64(c.Seeds); seed++ {
+			r, err := runOne(art, target, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func runOne(art *core.Artifact, target string, seed uint64) (Result, error) {
+	k := kernel.New(nil)
+	// No exec bit on the image: execve soft-fails with -EACCES so a run
+	// can keep going past it (the trap still happens and is checked).
+	if err := k.FS.WriteFile("/bin/app", []byte("x"), 0o4); err != nil {
+		return Result{}, err
+	}
+	prot, err := core.Launch(art, k, monitor.DefaultConfig(), vm.WithMaxSteps(1<<22))
+	if err != nil {
+		return Result{}, fmt.Errorf("faultinject: launch: %w", err)
+	}
+	rng := mix(target, seed)
+	res := Result{Target: target, Seed: seed}
+
+	call := func(name string) error {
+		_, err := prot.Machine.CallFunction(name)
+		return err
+	}
+	// drive runs the calls in order and returns the first failure.
+	drive := func(names ...string) error {
+		for _, n := range names {
+			if err := call(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var derr error
+	switch target {
+	case TargetArgSlot:
+		res.Bit = uint(rng % 64)
+		if err := prot.Machine.HookFunc("mprotect", 0, func(m *vm.Machine) error {
+			addr, err := m.SlotAddr("p2")
+			if err != nil {
+				return err
+			}
+			v, err := m.Mem.ReadUint(addr, 8)
+			if err != nil {
+				return err
+			}
+			return m.Mem.WriteUint(addr, v^(1<<res.Bit), 8)
+		}); err != nil {
+			return Result{}, err
+		}
+		derr = drive("setup", "do_protect")
+	case TargetRetAddr:
+		res.Bit = uint(rng % 48)
+		if err := prot.Machine.HookFunc("do_protect", 1, func(m *vm.Machine) error {
+			ret, err := m.Mem.ReadUint(m.RBP()+8, 8)
+			if err != nil {
+				return err
+			}
+			return m.Mem.WriteUint(m.RBP()+8, ret^(1<<res.Bit), 8)
+		}); err != nil {
+			return Result{}, err
+		}
+		derr = drive("setup", "do_protect")
+	case TargetCodePtr:
+		res.Bit = uint(rng % 24)
+		derr = call("setup")
+		if derr == nil {
+			g := prot.Machine.Prog.GlobalByName("handler")
+			v, rerr := prot.Machine.Mem.ReadUint(g.Addr, 8)
+			if rerr != nil {
+				return Result{}, rerr
+			}
+			if werr := prot.Machine.Mem.WriteUint(g.Addr, v^(1<<res.Bit), 8); werr != nil {
+				return Result{}, werr
+			}
+			derr = drive("dispatch", "do_protect")
+		}
+	case TargetCodePtrStub:
+		res.Bit = uint(rng % uint64(len(stubNames)))
+		derr = call("setup")
+		if derr == nil {
+			stub := prot.Machine.Prog.Func(stubNames[res.Bit])
+			g := prot.Machine.Prog.GlobalByName("handler")
+			if werr := prot.Machine.Mem.WriteUint(g.Addr, stub.Base, 8); werr != nil {
+				return Result{}, werr
+			}
+			derr = drive("dispatch", "do_protect")
+		}
+	case TargetFlowState:
+		res.Bit = uint(rng % 33)
+		derr = drive("setup", "do_protect")
+		if derr == nil {
+			nr, active := prot.Monitor.FlowState()
+			if res.Bit == 32 {
+				active = !active
+			} else {
+				nr ^= 1 << res.Bit
+			}
+			prot.Monitor.SetFlowState(nr, active)
+			derr = drive("do_protect", "do_exec")
+		}
+	case TargetData:
+		res.Bit = uint(rng % 512)
+		derr = call("setup")
+		if derr == nil {
+			g := prot.Machine.Prog.GlobalByName("scratch")
+			addr := g.Addr + uint64(res.Bit/8)
+			v, rerr := prot.Machine.Mem.ReadUint(addr, 1)
+			if rerr != nil {
+				return Result{}, rerr
+			}
+			if werr := prot.Machine.Mem.WriteUint(addr, v^(1<<(res.Bit%8)), 1); werr != nil {
+				return Result{}, werr
+			}
+			derr = drive("dispatch", "do_protect", "do_exec")
+		}
+	default:
+		return Result{}, fmt.Errorf("faultinject: unknown target %q", target)
+	}
+
+	res.Outcome = classify(derr, prot.Monitor)
+	return res, nil
+}
+
+// classify maps a drive error to the matrix outcome. A monitor kill is
+// attributed to the context of the last recorded violation; a seccomp
+// kill to the in-filter program; any other VM error is the machine
+// fail-stopping on its own (bad jump, unmapped access); no error at all —
+// or a clean guest exit — is a benign (undetected but harmless) fault.
+func classify(err error, mon *monitor.Monitor) string {
+	if err == nil {
+		return "benign"
+	}
+	var ke *vm.KillError
+	if errors.As(err, &ke) {
+		if ke.By == "seccomp" {
+			return "caught:seccomp"
+		}
+		if n := len(mon.Violations); n > 0 {
+			return "caught:" + mon.Violations[n-1].Context.String()
+		}
+		return "caught:monitor"
+	}
+	var xe *vm.ExitError
+	if errors.As(err, &xe) {
+		return "benign"
+	}
+	return "fail-stop"
+}
+
+// Matrix aggregates results into target -> outcome -> count.
+func Matrix(results []Result) map[string]map[string]int {
+	m := map[string]map[string]int{}
+	for _, r := range results {
+		if m[r.Target] == nil {
+			m[r.Target] = map[string]int{}
+		}
+		m[r.Target][r.Outcome]++
+	}
+	return m
+}
+
+// columnOrder fixes the preferred catch-matrix column sequence; outcomes
+// beyond it (future contexts) sort alphabetically after.
+var columnOrder = []string{
+	"benign", "fail-stop", "caught:seccomp", "caught:call-type",
+	"caught:control-flow", "caught:argument-integrity", "caught:syscall-flow",
+}
+
+// RenderMatrix renders the catch matrix as a byte-stable text table:
+// targets in campaign order, one column per observed outcome.
+func RenderMatrix(m map[string]map[string]int) string {
+	rank := map[string]int{}
+	for i, c := range columnOrder {
+		rank[c] = i
+	}
+	colSet := map[string]bool{}
+	for _, row := range m {
+		for o := range row {
+			colSet[o] = true
+		}
+	}
+	cols := make([]string, 0, len(colSet))
+	for o := range colSet {
+		cols = append(cols, o)
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		ri, iok := rank[cols[i]]
+		rj, jok := rank[cols[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		}
+		return cols[i] < cols[j]
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "target")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "  %s", c)
+	}
+	b.WriteByte('\n')
+	for _, target := range Targets {
+		row, ok := m[target]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s", target)
+		for _, c := range cols {
+			fmt.Fprintf(&b, "  %*d", len(c), row[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// campaignSeeds is the CI smoke size: large enough that every fault class
+// shows its characteristic outcomes, small enough to stay in the seconds.
+const campaignSeeds = 8
+
+func runCampaign(t *testing.T) []Result {
+	t.Helper()
+	res, err := Campaign{Seeds: campaignSeeds}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != campaignSeeds*len(Targets) {
+		t.Fatalf("got %d results, want %d", len(res), campaignSeeds*len(Targets))
+	}
+	return res
+}
+
+// TestCampaignDeterministic: the same campaign must reproduce the exact
+// same per-run outcomes — the property that makes the matrix goldenable
+// and the campaign usable as a regression gate.
+func TestCampaignDeterministic(t *testing.T) {
+	a := runCampaign(t)
+	b := runCampaign(t)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if RenderMatrix(Matrix(a)) != RenderMatrix(Matrix(b)) {
+		t.Fatal("rendered matrices differ")
+	}
+}
+
+// TestCatchAttribution: each fault class lands where the design says it
+// must — the context-by-context coverage argument in executable form.
+func TestCatchAttribution(t *testing.T) {
+	byTarget := map[string][]Result{}
+	for _, r := range runCampaign(t) {
+		byTarget[r.Target] = append(byTarget[r.Target], r)
+	}
+	// Single-owner classes: every run of the class is caught by exactly
+	// the context that watches that state.
+	owners := map[string]string{
+		TargetArgSlot:   "caught:argument-integrity",
+		TargetRetAddr:   "caught:control-flow",
+		TargetFlowState: "caught:syscall-flow",
+		TargetData:      "benign",
+		TargetCodePtr:   "fail-stop",
+	}
+	for target, want := range owners {
+		for _, r := range byTarget[target] {
+			if r.Outcome != want {
+				t.Errorf("%s seed=%d bit=%d: outcome %q, want %q",
+					target, r.Seed, r.Bit, r.Outcome, want)
+			}
+		}
+	}
+	// The stub redirect is the layered class: never-referenced stubs die
+	// in-filter, a referenced direct-only stub dies at the call-type
+	// check, and a stub whose transition is out-of-graph dies at the
+	// syscall-flow check before call-type even runs.
+	seen := map[string]bool{}
+	for _, r := range byTarget[TargetCodePtrStub] {
+		seen[r.Outcome] = true
+		if r.Outcome == "benign" || r.Outcome == "fail-stop" {
+			t.Errorf("code-ptr-stub seed=%d escaped: %q", r.Seed, r.Outcome)
+		}
+	}
+	for _, want := range []string{"caught:seccomp", "caught:call-type", "caught:syscall-flow"} {
+		if !seen[want] {
+			t.Errorf("code-ptr-stub never produced %q (got %v)", want, seen)
+		}
+	}
+}
+
+// TestCampaignGolden pins the rendered catch matrix byte-for-byte.
+// Regenerate with: go test ./internal/faultinject/ -run Golden -update
+func TestCampaignGolden(t *testing.T) {
+	got := RenderMatrix(Matrix(runCampaign(t)))
+	path := filepath.Join("testdata", "matrix.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("catch matrix diverged from golden\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderMatrixOrdering: rows follow campaign order and unknown
+// outcomes sort after the fixed columns — so a future context extends the
+// table instead of scrambling it.
+func TestRenderMatrixOrdering(t *testing.T) {
+	m := map[string]map[string]int{
+		TargetData:    {"caught:zz-future": 1, "benign": 2},
+		TargetArgSlot: {"caught:argument-integrity": 3},
+	}
+	out := RenderMatrix(m)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], TargetArgSlot) || !strings.HasPrefix(lines[2], TargetData) {
+		t.Fatalf("row order wrong:\n%s", out)
+	}
+	hdr := lines[0]
+	if strings.Index(hdr, "benign") > strings.Index(hdr, "caught:zz-future") {
+		t.Fatalf("column order wrong:\n%s", out)
+	}
+	if strings.Index(hdr, "caught:argument-integrity") > strings.Index(hdr, "caught:zz-future") {
+		t.Fatalf("unknown outcome must sort last:\n%s", out)
+	}
+}

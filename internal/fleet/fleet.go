@@ -200,6 +200,11 @@ type TenantResult struct {
 	CacheHits   uint64
 	CacheMisses uint64
 
+	// FlowChecks counts syscall-flow transition checks, summed across
+	// incarnations. Each incarnation starts a fresh monitor, so its flow
+	// state (and first-trap requirement) resets with the restart.
+	FlowChecks uint64
+
 	// OffloadAvoided counts traps the in-filter verdict offload answered
 	// without stopping the guest, summed across incarnations.
 	OffloadAvoided uint64
@@ -563,6 +568,7 @@ func drainMonitor(res *TenantResult, prot *core.Protected, crashed bool) {
 	mon := prot.Monitor
 	res.CacheHits += mon.CacheHits
 	res.CacheMisses += mon.CacheMisses
+	res.FlowChecks += mon.FlowChecks
 	res.OffloadAvoided += mon.OffloadAvoided()
 	for _, v := range mon.Violations {
 		res.Violations = append(res.Violations, v.String())

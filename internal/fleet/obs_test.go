@@ -184,6 +184,9 @@ func TestFleetTracingInvisible(t *testing.T) {
 		if a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses {
 			t.Errorf("tenant %d cache stats differ with tracing on", i)
 		}
+		if a.FlowChecks != b.FlowChecks {
+			t.Errorf("tenant %d flow checks differ traced: %d vs %d", i, a.FlowChecks, b.FlowChecks)
+		}
 		if len(a.Violations) != len(b.Violations) {
 			t.Errorf("tenant %d violations differ: %v vs %v", i, a.Violations, b.Violations)
 		}

@@ -81,8 +81,9 @@ func (c CacheOutcome) String() string {
 
 // CycleBreakdown attributes one trap's monitor cycles to its stages, in
 // pipeline order: state fetch (trap round trip + register read), stack
-// unwind, verdict-cache lookup, and the three context checks. The sum of
-// the fields equals End-Start on the owning TrapEvent.
+// unwind, syscall-flow transition check, verdict-cache lookup, and the
+// three per-trap context checks. The sum of the fields equals End-Start
+// on the owning TrapEvent.
 type CycleBreakdown struct {
 	Fetch       uint64
 	Unwind      uint64
@@ -90,11 +91,12 @@ type CycleBreakdown struct {
 	CT          uint64
 	CF          uint64
 	AI          uint64
+	SF          uint64
 }
 
 // Total sums the per-stage charges.
 func (c CycleBreakdown) Total() uint64 {
-	return c.Fetch + c.Unwind + c.CacheLookup + c.CT + c.CF + c.AI
+	return c.Fetch + c.Unwind + c.CacheLookup + c.CT + c.CF + c.AI + c.SF
 }
 
 // TrapEvent is one structured decision-trace record: everything the
@@ -110,8 +112,8 @@ type TrapEvent struct {
 	Name string
 	// Start and End are cycle-clock readings at trap entry and exit.
 	Start, End uint64
-	// CT, CF, AI are the per-context verdicts.
-	CT, CF, AI Verdict
+	// CT, CF, AI, SF are the per-context verdicts.
+	CT, CF, AI, SF Verdict
 	// Cache is the verdict cache's involvement.
 	Cache CacheOutcome
 	// Cycles attributes End-Start to the monitor's stages.
@@ -128,7 +130,8 @@ type TrapEvent struct {
 
 // Violated reports whether any context rejected the trap.
 func (e *TrapEvent) Violated() bool {
-	return e.CT == VerdictViolation || e.CF == VerdictViolation || e.AI == VerdictViolation
+	return e.CT == VerdictViolation || e.CF == VerdictViolation ||
+		e.AI == VerdictViolation || e.SF == VerdictViolation
 }
 
 // appendJSON renders the event as a single JSON object with a fixed field
@@ -137,9 +140,9 @@ func (e *TrapEvent) Violated() bool {
 func (e *TrapEvent) appendJSON(b *strings.Builder) {
 	fmt.Fprintf(b, `{"seq":%d,"tenant":%d,"nr":%d,"name":%s,"start":%d,"end":%d`,
 		e.Seq, e.Tenant, e.Nr, strconv.Quote(e.Name), e.Start, e.End)
-	fmt.Fprintf(b, `,"cache":%q,"ct":%q,"cf":%q,"ai":%q`, e.Cache, e.CT, e.CF, e.AI)
-	fmt.Fprintf(b, `,"cycles":{"fetch":%d,"unwind":%d,"lookup":%d,"ct":%d,"cf":%d,"ai":%d}`,
-		e.Cycles.Fetch, e.Cycles.Unwind, e.Cycles.CacheLookup, e.Cycles.CT, e.Cycles.CF, e.Cycles.AI)
+	fmt.Fprintf(b, `,"cache":%q,"ct":%q,"cf":%q,"ai":%q,"sf":%q`, e.Cache, e.CT, e.CF, e.AI, e.SF)
+	fmt.Fprintf(b, `,"cycles":{"fetch":%d,"unwind":%d,"lookup":%d,"ct":%d,"cf":%d,"ai":%d,"sf":%d}`,
+		e.Cycles.Fetch, e.Cycles.Unwind, e.Cycles.CacheLookup, e.Cycles.CT, e.Cycles.CF, e.Cycles.AI, e.Cycles.SF)
 	fmt.Fprintf(b, `,"depth":%d,"pointee":%d`, e.UnwindDepth, e.PointeeBytes)
 	if e.Violation != "" {
 		fmt.Fprintf(b, `,"violation":%s`, strconv.Quote(e.Violation))

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|sf|offload|refine|obs|fleet|extras] [-units N]
+//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|sf|offload|refine|obs|fleet|shard|extras] [-units N]
 //	bastion-bench -report out.md [-parallel] [-workers N]
+//
+// The shard experiment sweeps the sharded control plane across 256/1k/4k
+// tenants × shard counts; it defaults to bench.ShardScalingUnits per
+// tenant (control-plane cost dominates) unless -units is set explicitly.
 package main
 
 import (
@@ -19,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | sf | offload | refine | obs | fleet | extras")
+	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | sf | offload | refine | obs | fleet | shard | extras")
 	units := flag.Int("units", bench.DefaultUnits, "work units per measurement")
 	reportOut := flag.String("report", "", "write a complete markdown report to this file")
 	parallel := flag.Bool("parallel", false, "fan report experiments out across CPU cores (same output, less wall clock)")
@@ -34,9 +38,13 @@ func main() {
 	if *units < 1 {
 		fail("-units must be at least 1, got %d", *units)
 	}
+	unitsSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "workers" && *workers < 1 {
 			fail("-workers must be at least 1 when set, got %d", *workers)
+		}
+		if f.Name == "units" {
+			unitsSet = true
 		}
 	})
 
@@ -198,6 +206,18 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.RenderFleetScaling(res))
+		return nil
+	})
+	run("shard", func() error {
+		u := bench.ShardScalingUnits
+		if unitsSet {
+			u = *units
+		}
+		res, err := bench.DefaultShardScaling(u)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderShardScaling(res))
 		return nil
 	})
 	run("extras", func() error {

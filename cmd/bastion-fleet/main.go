@@ -10,6 +10,7 @@
 //	              [-restarts N] [-seed N]
 //	              [-det] [-workers N] [-share=false] [-cache] [-extendfs]
 //	              [-offload] [-tree] [-malicious IDX] [-attack ID] [-md]
+//	              [-shards N] [-reload-at N] [-reload-to SPEC]
 //	              [-trace out.jsonl] [-trace-format jsonl|chrome]
 //	              [-metrics out.txt] [-flight N]
 //
@@ -17,6 +18,13 @@
 // watch it get killed and restarted while its siblings run undisturbed:
 //
 //	bastion-fleet -tenants 6 -units 20 -malicious 2 -attack cve-2012-0809
+//
+// Example: run 256 tenants under an 8-shard control plane (consistent-hash
+// placement, per-shard admission with backpressure) and hot-reload every
+// tenant onto a tree-filter + verdict-cache policy after its 10th unit,
+// with zero guest downtime:
+//
+//	bastion-fleet -tenants 256 -units 20 -shards 8 -reload-at 10 -reload-to cache,tree -md
 package main
 
 import (
@@ -70,6 +78,43 @@ func parseContexts(s string) (monitor.Context, error) {
 	return ctx, nil
 }
 
+// parseReloadSpec turns a comma list of policy tokens into the hot-reload
+// generation's PolicySpec: cache, tree, extendfs, offload toggle the
+// corresponding knobs on (everything unlisted is off), and any of
+// ct/cf/ai/sf narrows the context mask (omit them all to keep every
+// context enforced).
+func parseReloadSpec(s string) (*fleet.PolicySpec, error) {
+	spec := &fleet.PolicySpec{}
+	for _, tok := range strings.Split(strings.ToLower(strings.ReplaceAll(s, " ", "")), ",") {
+		switch tok {
+		case "cache":
+			spec.VerdictCache = true
+		case "tree":
+			spec.TreeFilter = true
+		case "extendfs":
+			spec.ExtendFS = true
+		case "offload":
+			spec.Offload = true
+		case "ct":
+			spec.Contexts |= monitor.CallType
+			spec.UseContexts = true
+		case "cf":
+			spec.Contexts |= monitor.ControlFlow
+			spec.UseContexts = true
+		case "ai":
+			spec.Contexts |= monitor.ArgIntegrity
+			spec.UseContexts = true
+		case "sf":
+			spec.Contexts |= monitor.SyscallFlow
+			spec.UseContexts = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown reload token %q (want cache, tree, extendfs, offload, ct, cf, ai, sf)", tok)
+		}
+	}
+	return spec, nil
+}
+
 func splitApps(s string) []string {
 	var apps []string
 	for _, a := range strings.Split(s, ",") {
@@ -98,6 +143,9 @@ func main() {
 	malicious := flag.Int("malicious", -1, "tenant index to inject an attack into (-1 = none)")
 	attackID := flag.String("attack", "", "attack scenario ID for -malicious (must match the tenant's app)")
 	md := flag.Bool("md", false, "print the full markdown report instead of the summary line")
+	shards := flag.Int("shards", 0, "shard-supervisor count for the sharded control plane (0 = flat supervisor)")
+	reloadAt := flag.Int("reload-at", 0, "hot-reload every tenant's policy after this many units (0 = off; needs -reload-to)")
+	reloadTo := flag.String("reload-to", "", "policy to hot-reload to: comma list of cache,tree,extendfs,offload,ct,cf,ai,sf")
 	traceOut := flag.String("trace", "", "write the fleet-wide decision trace (tenant-stamped) to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl | chrome")
 	metricsOut := flag.String("metrics", "", "write the merged metrics registry (text render) to this file")
@@ -145,6 +193,18 @@ func main() {
 	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
 		fail("-trace-format must be jsonl or chrome, got %q", *traceFormat)
 	}
+	if *shards < 0 {
+		fail("-shards must be non-negative, got %d", *shards)
+	}
+	if (*reloadAt > 0) != (*reloadTo != "") {
+		fail("-reload-at and -reload-to must be used together")
+	}
+	var reloadSpec *fleet.PolicySpec
+	if *reloadTo != "" {
+		if reloadSpec, err = parseReloadSpec(*reloadTo); err != nil {
+			fail("-reload-to: %v", err)
+		}
+	}
 
 	cfg := fleet.Config{
 		Tenants:        *tenants,
@@ -162,6 +222,9 @@ func main() {
 		Seed:           *seed,
 		Deterministic:  *det,
 		Workers:        *workers,
+		Shards:         *shards,
+		ReloadAt:       *reloadAt,
+		ReloadSpec:     reloadSpec,
 		Trace:          *traceOut != "" || *metricsOut != "",
 		FlightN:        *flightN,
 	}

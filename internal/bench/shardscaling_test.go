@@ -1,0 +1,47 @@
+package bench
+
+import "testing"
+
+// TestShardScalingAblation runs the control-plane sweep at test scale and
+// checks its two headline signals: adding shards relieves admission
+// pressure (fewer rejections, lower worst wait, no worse makespan), and
+// every point's hot reload applies once per tenant.
+func TestShardScalingAblation(t *testing.T) {
+	// 8 units with the reload at 4: every app (sqlite traps only on some
+	// units) is guaranteed a trap boundary after the stage point.
+	const units = 8
+	tenants := []int{48}
+	shards := []int{1, 4}
+	res, err := ShardScaling(units, tenants, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(tenants)*len(shards) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(tenants)*len(shards))
+	}
+	one, four := res.Rows[0], res.Rows[1]
+	if one.Shards != 1 || four.Shards != 4 {
+		t.Fatalf("row order off: %+v", res.Rows)
+	}
+	if four.MaxWait >= one.MaxWait {
+		t.Errorf("4 shards max wait %d not below 1 shard %d", four.MaxWait, one.MaxWait)
+	}
+	if four.Rejects > one.Rejects {
+		t.Errorf("4 shards rejected more (%d) than 1 shard (%d)", four.Rejects, one.Rejects)
+	}
+	if four.Makespan > one.Makespan {
+		t.Errorf("4 shards makespan %d above 1 shard %d", four.Makespan, one.Makespan)
+	}
+	for _, row := range res.Rows {
+		if row.Reloads != uint64(row.Tenants) {
+			t.Errorf("%d×%d: %d reloads, want one per tenant", row.Tenants, row.Shards, row.Reloads)
+		}
+		if row.ReloadMean <= 0 {
+			t.Errorf("%d×%d: mean reload cycles %.0f, want positive", row.Tenants, row.Shards, row.ReloadMean)
+		}
+		if row.Throughput <= 0 {
+			t.Errorf("%d×%d: zero throughput", row.Tenants, row.Shards)
+		}
+	}
+	t.Logf("\n%s", RenderShardScaling(res))
+}

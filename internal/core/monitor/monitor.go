@@ -261,6 +261,13 @@ type Monitor struct {
 	// Metrics as monitor_offload_avoided_total.
 	Offload *OffloadPlan
 
+	// Reloads counts applied generation swaps; ReloadCycles their summed
+	// simulated cost (the fleet's reload-latency measure). Plain fields,
+	// not registry-bound: pre-reload monitors must render byte-identical
+	// reports to builds that predate hot reload.
+	Reloads      uint64
+	ReloadCycles uint64
+
 	// Metrics is the monitor's telemetry registry. The exported counter
 	// fields above remain the single storage — the registry renders
 	// through bound pointers — and the registry additionally owns the
@@ -270,6 +277,12 @@ type Monitor struct {
 	Recorder *obs.FlightRecorder
 
 	cache *verdictCache
+
+	// Policy hot-reload state: gen is the enforced artifact generation (0
+	// at launch), staged the armed-but-unapplied bundle a trap boundary
+	// will swap in (see swap.go).
+	gen    uint64
+	staged *Generation
 
 	// Syscall-flow enforcement state (SyscallFlow context). sfStart and
 	// sfEdges are the attach-time projection of the metadata transition
@@ -566,6 +579,16 @@ func (m *Monitor) Trap(p *kernel.Process) error {
 	nViol := len(m.Violations)
 	err := m.trap(p)
 	m.observe(p, seq, nViol)
+	// A staged generation applies at the END of the trap: this trap's
+	// verdicts were issued and observed under the old generation, and the
+	// guest's next syscall meets the new filter and new metadata together
+	// — the boundary that makes a reload un-tearable. A killing trap skips
+	// the swap; the incarnation is over.
+	if err == nil && m.staged != nil {
+		if aerr := m.applyGeneration(p); aerr != nil {
+			return aerr
+		}
+	}
 	return err
 }
 
@@ -840,6 +863,7 @@ func (m *Monitor) observe(p *kernel.Process, seq uint64, nViol int) {
 		},
 		UnwindDepth:  st.depth,
 		PointeeBytes: st.pointee,
+		Gen:          m.gen,
 	}
 	if len(m.Violations) > nViol {
 		ev.Violation = m.Violations[nViol].String()

@@ -1,0 +1,225 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"bastion/internal/core"
+	"bastion/internal/core/monitor"
+	"bastion/internal/obs"
+	"bastion/internal/seccomp"
+)
+
+// stageGen builds a generation from the protected process's own metadata
+// with the given policy knobs and stages it.
+func stageGen(t *testing.T, prot *core.Protected, id uint64, mutate func(*monitor.Config)) *monitor.Generation {
+	t.Helper()
+	cfg := prot.Monitor.Cfg
+	cfg.Filter = nil
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := monitor.NewGeneration(id, prot.Monitor.Meta, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewGeneration: %v", err)
+	}
+	if err := prot.Monitor.StageGeneration(g); err != nil {
+		t.Fatalf("StageGeneration: %v", err)
+	}
+	return g
+}
+
+// TestSwapAppliesAtTrapBoundary proves staging is lazy: the generation is
+// live only after the next trap, and that boundary trap itself is still
+// judged and stamped under the old generation.
+func TestSwapAppliesAtTrapBoundary(t *testing.T) {
+	cfg := monitor.DefaultConfig()
+	cfg.Sink = &obs.BufferSink{}
+	prot := launch(t, cfg)
+	if _, err := prot.Machine.CallFunction("setup"); err != nil {
+		t.Fatal(err)
+	}
+	oldFilter := seccomp.FilterID(prot.Proc.SeccompFilter())
+
+	g := stageGen(t, prot, 1, func(c *monitor.Config) { c.TreeFilter = !c.TreeFilter })
+	if got := prot.Monitor.GenerationID(); got != 0 {
+		t.Fatalf("generation flipped at stage time: %d", got)
+	}
+	if seccomp.FilterID(prot.Proc.SeccompFilter()) != oldFilter {
+		t.Fatal("kernel filter replaced before the trap boundary")
+	}
+
+	// The boundary trap: judged under gen 0, swap applies at its end.
+	if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+		t.Fatal(err)
+	}
+	if got := prot.Monitor.GenerationID(); got != 1 {
+		t.Fatalf("generation after boundary trap = %d, want 1", got)
+	}
+	if got := seccomp.FilterID(prot.Proc.SeccompFilter()); got != g.FilterID {
+		t.Fatalf("installed filter %#x, want generation filter %#x", got, g.FilterID)
+	}
+	if prot.Monitor.Reloads != 1 || prot.Monitor.ReloadCycles == 0 {
+		t.Fatalf("reload accounting: %d reloads, %d cycles", prot.Monitor.Reloads, prot.Monitor.ReloadCycles)
+	}
+
+	sink := prot.Monitor.Cfg.Sink.(*obs.BufferSink)
+	if n := len(sink.Events); n < 2 {
+		t.Fatalf("want at least 2 trap events, got %d", n)
+	}
+	boundary := sink.Events[len(sink.Events)-1]
+	if boundary.Gen != 0 {
+		t.Fatalf("boundary trap stamped gen %d, want 0 (judged under the old generation)", boundary.Gen)
+	}
+
+	// The next trap runs — and is stamped — under the new generation.
+	if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+		t.Fatal(err)
+	}
+	last := sink.Events[len(sink.Events)-1]
+	if last.Gen != 1 {
+		t.Fatalf("post-swap trap stamped gen %d, want 1", last.Gen)
+	}
+}
+
+// tornSink asserts, at every emit, that the event's generation stamp
+// agrees with the state the monitor and kernel hold while the event is
+// observed: a gen-0 event must be observed with the gen-0 filter AND gen-0
+// metadata installed, a gen-1 event with both swapped. Any mix is a torn
+// policy.
+type tornSink struct {
+	t         *testing.T
+	prot      *core.Protected
+	oldFilter uint64
+	newFilter uint64
+	oldMeta   bool // metadata pointer identity checked by the closure below
+	metaIsOld func() bool
+}
+
+func (s *tornSink) Emit(ev *obs.TrapEvent) {
+	installed := seccomp.FilterID(s.prot.Proc.SeccompFilter())
+	metaOld := s.metaIsOld()
+	switch ev.Gen {
+	case 0:
+		if installed != s.oldFilter || !metaOld {
+			s.t.Errorf("torn policy: gen-0 event observed with filter=%#x (old %#x) metaOld=%v",
+				installed, s.oldFilter, metaOld)
+		}
+	case 1:
+		if installed != s.newFilter || metaOld {
+			s.t.Errorf("torn policy: gen-1 event observed with filter=%#x (new %#x) metaOld=%v",
+				installed, s.newFilter, metaOld)
+		}
+	default:
+		s.t.Errorf("unexpected generation stamp %d", ev.Gen)
+	}
+}
+
+// TestSwapNeverTearsPolicy drives traps across a swap and checks, inside
+// the observation hook of every single trap, that filter, metadata, and
+// generation stamp always belong to the same generation.
+func TestSwapNeverTearsPolicy(t *testing.T) {
+	cfg := monitor.DefaultConfig()
+	sink := &tornSink{t: t}
+	cfg.Sink = sink
+	prot := launch(t, cfg)
+	sink.prot = prot
+	oldMeta := prot.Monitor.Meta
+	sink.metaIsOld = func() bool { return prot.Monitor.Meta == oldMeta }
+	sink.oldFilter = seccomp.FilterID(prot.Proc.SeccompFilter())
+
+	if _, err := prot.Machine.CallFunction("setup"); err != nil {
+		t.Fatal(err)
+	}
+	// The new generation carries its own metadata value (same content,
+	// distinct pointer) so the sink can tell which generation's metadata
+	// the monitor is judging against at every single trap.
+	newMeta := *oldMeta
+	cfg2 := prot.Monitor.Cfg
+	cfg2.Filter = nil
+	cfg2.TreeFilter = !cfg2.TreeFilter
+	g, err := monitor.NewGeneration(1, &newMeta, cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prot.Monitor.StageGeneration(g); err != nil {
+		t.Fatal(err)
+	}
+	sink.newFilter = g.FilterID
+	for i := 0; i < 4; i++ {
+		if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prot.Monitor.GenerationID() != 1 {
+		t.Fatalf("swap never applied")
+	}
+}
+
+// TestSwapFlushesVerdictCache proves cached verdicts do not survive a
+// generation swap: they were proven under the old metadata and must be
+// re-derived under the new one.
+func TestSwapFlushesVerdictCache(t *testing.T) {
+	cfg := monitor.DefaultConfig()
+	cfg.VerdictCache = true
+	prot := launch(t, cfg)
+	if _, err := prot.Machine.CallFunction("setup"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache on the repeated trap.
+	for i := 0; i < 3; i++ {
+		if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prot.Monitor.CacheHits == 0 {
+		t.Fatal("cache never warmed")
+	}
+
+	stageGen(t, prot, 1, nil) // same policy knobs: a pure re-generation
+	// Boundary trap applies the swap at its end (it may still hit the old
+	// cache — it is judged under gen 0, which is exactly the point).
+	if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+		t.Fatal(err)
+	}
+	missesAtSwap := prot.Monitor.CacheMisses
+	// First post-swap trap: identical call, but the flushed cache must
+	// miss and re-derive.
+	if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+		t.Fatal(err)
+	}
+	if prot.Monitor.CacheMisses != missesAtSwap+1 {
+		t.Fatalf("post-swap trap did not miss the flushed cache (misses %d -> %d)",
+			missesAtSwap, prot.Monitor.CacheMisses)
+	}
+}
+
+// TestSwapRestagesAndValidates covers the staging API's edges: nil and
+// incomplete generations are rejected, zero IDs are rejected, and staging
+// twice before a trap keeps only the newest bundle.
+func TestSwapRestagesAndValidates(t *testing.T) {
+	prot := launch(t, monitor.DefaultConfig())
+	if err := prot.Monitor.StageGeneration(nil); err == nil {
+		t.Fatal("nil generation accepted")
+	}
+	if err := prot.Monitor.StageGeneration(&monitor.Generation{ID: 1}); err == nil {
+		t.Fatal("incomplete generation accepted")
+	}
+	if _, err := monitor.NewGeneration(0, prot.Monitor.Meta, prot.Monitor.Cfg, nil); err == nil {
+		t.Fatal("generation id 0 accepted")
+	}
+
+	if _, err := prot.Machine.CallFunction("setup"); err != nil {
+		t.Fatal(err)
+	}
+	stageGen(t, prot, 1, nil)
+	g2 := stageGen(t, prot, 2, nil) // replaces the staged gen 1
+	if prot.Monitor.StagedGeneration() != g2 {
+		t.Fatal("restaging did not replace the pending generation")
+	}
+	if _, err := prot.Machine.CallFunction("do_protect"); err != nil {
+		t.Fatal(err)
+	}
+	if got := prot.Monitor.GenerationID(); got != 2 {
+		t.Fatalf("applied generation %d, want 2 (latest staged wins)", got)
+	}
+}

@@ -32,6 +32,7 @@ type Artifacts struct {
 	compiled map[string]*artEntry
 	raw      map[string]*rawEntry
 	filters  map[filterKey]*filterEntry
+	gens     map[genKey]*genEntry
 
 	compiles       int
 	filterCompiles int
@@ -65,12 +66,28 @@ type filterEntry struct {
 	err  error
 }
 
+// genKey identifies a hot-reload generation bundle: the filter key plus
+// the verdict-cache knob (which shapes verdicts but not the filter) and
+// the generation ID.
+type genKey struct {
+	filterKey
+	verdictCache bool
+	id           uint64
+}
+
+type genEntry struct {
+	once sync.Once
+	gen  *monitor.Generation
+	err  error
+}
+
 // NewArtifacts returns an empty shared-artifact cache.
 func NewArtifacts() *Artifacts {
 	return &Artifacts{
 		compiled: map[string]*artEntry{},
 		raw:      map[string]*rawEntry{},
 		filters:  map[filterKey]*filterEntry{},
+		gens:     map[genKey]*genEntry{},
 	}
 }
 
@@ -158,6 +175,45 @@ func (a *Artifacts) Config(app string, cfg monitor.Config) (monitor.Config, erro
 	}
 	cfg.Filter = e.prog
 	return cfg, nil
+}
+
+// Generation returns the hot-reload generation bundle for (id, app, cfg),
+// building it once per key and sharing the immutable result across every
+// tenant that stages it. The bundle's filter goes through the same cached
+// compilation as launch filters, so reload filter compiles are counted
+// (and amortized) exactly like launch ones.
+func (a *Artifacts) Generation(id uint64, app string, cfg monitor.Config) (*monitor.Generation, error) {
+	art, err := a.Compiled(app)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err = a.Config(app, cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := genKey{
+		filterKey: filterKey{
+			app:        app,
+			mode:       cfg.Mode,
+			contexts:   cfg.Contexts,
+			extendFS:   cfg.ExtendFS,
+			treeFilter: cfg.TreeFilter,
+			offload:    cfg.Offload,
+		},
+		verdictCache: cfg.VerdictCache,
+		id:           id,
+	}
+	a.mu.Lock()
+	e := a.gens[key]
+	if e == nil {
+		e = &genEntry{}
+		a.gens[key] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() {
+		e.gen, e.err = monitor.NewGeneration(id, art.Meta, cfg, cfg.Filter)
+	})
+	return e.gen, e.err
 }
 
 func (a *Artifacts) count(c *int) {

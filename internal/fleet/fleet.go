@@ -10,6 +10,7 @@ import (
 	"bastion/internal/attacks"
 	"bastion/internal/core"
 	"bastion/internal/core/monitor"
+	"bastion/internal/fleet/shard"
 	"bastion/internal/kernel"
 	"bastion/internal/obs"
 	"bastion/internal/vm"
@@ -82,6 +83,27 @@ type Config struct {
 	// one-shot unit failure (restart-path testing).
 	FaultAt map[int]int
 
+	// Shards > 0 runs the sharded control plane: tenants are placed onto
+	// that many shard supervisors by consistent hashing, each shard owns
+	// its own goroutine pool and admission control, and per-shard
+	// statistics land in the report. 0 keeps the flat supervisor.
+	Shards int
+	// ShardVnodes is the placement ring's virtual-node count per shard
+	// (0 = shard.DefaultVnodes).
+	ShardVnodes int
+	// Admission overrides the per-shard admission control (nil =
+	// shard.DefaultAdmission). Admission latency and rejections are
+	// charged to each tenant's elapsed timeline deterministically.
+	Admission *shard.AdmissionConfig
+
+	// ReloadAt > 0 hot-reloads every tenant's policy after it completes
+	// that many units: a new artifact generation (ReloadSpec) is staged
+	// into the live monitor and applies at the next trap boundary, with
+	// zero guest downtime. Requires ReloadSpec; must be < Units.
+	ReloadAt int
+	// ReloadSpec is the policy the fleet swaps to (generation 1).
+	ReloadSpec *PolicySpec
+
 	// MaxSteps bounds each incarnation's guest execution (0 = default).
 	MaxSteps uint64
 
@@ -112,6 +134,44 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxRestarts < 0 {
 		return fmt.Errorf("fleet: max restarts must be non-negative, got %d", c.MaxRestarts)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fleet: workers must be non-negative, got %d", c.Workers)
+	}
+	base, bcap := c.BackoffBase, c.BackoffCap
+	if base == 0 {
+		base = DefaultBackoffBase
+	}
+	if bcap == 0 {
+		bcap = DefaultBackoffCap
+	}
+	if base > bcap {
+		return fmt.Errorf("fleet: backoff base %d exceeds cap %d", base, bcap)
+	}
+	for idx, unit := range c.FaultAt {
+		if idx < 0 || idx >= c.Tenants {
+			return fmt.Errorf("fleet: fault tenant %d outside fleet of %d", idx, c.Tenants)
+		}
+		if unit < 0 {
+			return fmt.Errorf("fleet: fault unit must be non-negative, got %d for tenant %d", unit, idx)
+		}
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("fleet: shards must be non-negative, got %d", c.Shards)
+	}
+	if c.ShardVnodes < 0 {
+		return fmt.Errorf("fleet: shard vnodes must be non-negative, got %d", c.ShardVnodes)
+	}
+	if c.ReloadAt < 0 {
+		return fmt.Errorf("fleet: reload unit must be non-negative, got %d", c.ReloadAt)
+	}
+	if c.ReloadAt > 0 {
+		if c.ReloadSpec == nil {
+			return errors.New("fleet: reload-at needs a reload policy spec")
+		}
+		if c.ReloadAt >= c.Units {
+			return fmt.Errorf("fleet: reload at unit %d needs more than %d units", c.ReloadAt, c.Units)
+		}
 	}
 	for idx, id := range c.Malicious {
 		if idx < 0 || idx >= c.Tenants {
@@ -154,6 +214,19 @@ func (c *Config) contexts() monitor.Context {
 	return monitor.AllContexts
 }
 
+// monitorConfig is the monitor configuration every tenant launches under
+// (generation 0); the reload generation grafts its PolicySpec onto this.
+func (c *Config) monitorConfig() monitor.Config {
+	mcfg := monitor.DefaultConfig()
+	mcfg.Contexts = c.contexts()
+	mcfg.Mode = c.Mode
+	mcfg.ExtendFS = c.ExtendFS
+	mcfg.TreeFilter = c.TreeFilter
+	mcfg.VerdictCache = c.VerdictCache
+	mcfg.Offload = c.Offload
+	return mcfg
+}
+
 // AttackOutcome records what the injected attack achieved on a malicious
 // tenant.
 type AttackOutcome struct {
@@ -168,6 +241,16 @@ type AttackOutcome struct {
 type TenantResult struct {
 	Index int
 	App   string
+
+	// Shard is the control-plane shard that ran the tenant, -1 under the
+	// flat supervisor. AdmitCycles is the fleet-clock cycle at which the
+	// shard granted the tenant's launch (arrival offset plus queueing); it
+	// front-pads the tenant's elapsed timeline so WallCycles is a true
+	// makespan. AdmitRejects counts full-queue rejections absorbed before
+	// admission.
+	Shard        int
+	AdmitCycles  uint64
+	AdmitRejects int
 
 	// Units is the number of work units completed; Bytes the application
 	// bytes moved.
@@ -208,6 +291,13 @@ type TenantResult struct {
 	// OffloadAvoided counts traps the in-filter verdict offload answered
 	// without stopping the guest, summed across incarnations.
 	OffloadAvoided uint64
+
+	// Reloads counts applied policy hot reloads across incarnations,
+	// ReloadCycles their summed swap cost, and Gen the artifact generation
+	// the tenant's last incarnation finished under.
+	Reloads      uint64
+	ReloadCycles uint64
+	Gen          uint64
 
 	// Violations are the monitor's recorded context violations, in order;
 	// ViolationMask is their context union.
@@ -255,10 +345,10 @@ func (t *TenantResult) CacheHitRate() float64 {
 	return 0
 }
 
-// ElapsedCycles is the tenant's full simulated timeline: setup + init +
-// steady state + restart backoff.
+// ElapsedCycles is the tenant's full simulated timeline: admission +
+// setup + init + steady state + restart backoff.
 func (t *TenantResult) ElapsedCycles() uint64 {
-	return t.SetupCycles + t.InitCycles + t.TotalCycles + t.BackoffCycles
+	return t.AdmitCycles + t.SetupCycles + t.InitCycles + t.TotalCycles + t.BackoffCycles
 }
 
 // Run executes a fleet per the configuration and aggregates the report.
@@ -297,7 +387,69 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	if cfg.Deterministic {
+	if cfg.Shards > 0 {
+		// Sharded control plane: placement and admission are computed up
+		// front as pure functions of (config, schedule), then each shard
+		// supervises its members with its own goroutine pool. Results are
+		// byte-identical to a serial run because nothing about a tenant
+		// depends on when its shard's pool got to it.
+		adm := shard.DefaultAdmission()
+		if cfg.Admission != nil {
+			adm = *cfg.Admission
+		}
+		rep.Shards = shard.Build(cfg.Shards, cfg.ShardVnodes, adm, schedule)
+		if cfg.Deterministic {
+			for _, s := range rep.Shards {
+				for _, idx := range s.Members {
+					runOne(idx)
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			for _, s := range rep.Shards {
+				if len(s.Members) == 0 {
+					continue
+				}
+				workers := cfg.Workers
+				if workers <= 0 {
+					workers = runtime.NumCPU()
+				}
+				if workers > len(s.Members) {
+					workers = len(s.Members)
+				}
+				ch := make(chan int)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for idx := range ch {
+							runOne(idx)
+						}
+					}()
+				}
+				members := s.Members
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, idx := range members {
+						ch <- idx
+					}
+					close(ch)
+				}()
+			}
+			wg.Wait()
+		}
+		// Stamp each tenant with its shard's placement and admission
+		// outcome (deterministic post-pass; runTenant never sees them).
+		for _, s := range rep.Shards {
+			for i, idx := range s.Members {
+				g := s.Grants[i]
+				rep.Results[idx].Shard = s.ID
+				rep.Results[idx].AdmitCycles = g.Admit
+				rep.Results[idx].AdmitRejects = g.Rejects
+			}
+		}
+	} else if cfg.Deterministic {
 		for _, idx := range schedule {
 			runOne(idx)
 		}
@@ -356,7 +508,7 @@ func (f *faultyTarget) Unit(p *core.Protected, i int) (int64, error) {
 // configuration, not guest behavior — are returned as errors.
 func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifacts, error) {
 	app := cfg.appOf(idx)
-	res := TenantResult{Index: idx, App: app}
+	res := TenantResult{Index: idx, App: app, Shard: -1}
 	if cfg.Trace {
 		res.Metrics = obs.NewRegistry()
 	}
@@ -422,7 +574,7 @@ func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifact
 			driver = &faultyTarget{Target: target, base: res.Units, faultAt: faultAt, fired: &faultFired}
 		}
 
-		wl, runErr := workload.Run(driver, prot, runUnits)
+		wl, runErr := runSlice(cfg, app, arts, prot, driver, res.Units, runUnits)
 		accumulate(&res, wl, prot)
 
 		if runErr != nil {
@@ -468,6 +620,47 @@ func runTenant(cfg *Config, idx int, shared *Artifacts) (TenantResult, *Artifact
 	return res, priv, nil
 }
 
+// runSlice drives one incarnation through a slice of units, staging the
+// fleet's policy hot reload where the tenant's cumulative unit count
+// crosses cfg.ReloadAt. done is the tenant's progress before this slice.
+//
+// The generation is staged, not applied: the monitor swaps it in at its
+// next trap boundary, so the guest keeps running throughout and every
+// trap is judged under exactly one generation. An incarnation launched
+// after the reload point (post-restart) stages the generation before its
+// first unit, bringing the fresh monitor up to fleet policy immediately.
+func runSlice(cfg *Config, app string, arts *Artifacts, prot *core.Protected, driver workload.Target, done, units int) (workload.Result, error) {
+	if cfg.ReloadAt == 0 || done+units <= cfg.ReloadAt {
+		return workload.Run(driver, prot, units)
+	}
+	gen, err := reloadGeneration(cfg, app, arts)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	cut := cfg.ReloadAt - done
+	if cut <= 0 {
+		if err := prot.Monitor.StageGeneration(gen); err != nil {
+			return workload.Result{}, err
+		}
+		return workload.Run(driver, prot, units)
+	}
+	head, err := workload.Run(driver, prot, cut)
+	if err != nil {
+		return head, err
+	}
+	if err := prot.Monitor.StageGeneration(gen); err != nil {
+		return head, err
+	}
+	tail, err := workload.Continue(driver, prot, cut, units-cut)
+	head.Units += tail.Units
+	head.Bytes += tail.Bytes
+	head.InitCycles += tail.InitCycles
+	head.TotalCycles += tail.TotalCycles
+	head.MonitorCycles += tail.MonitorCycles
+	head.Traps += tail.Traps
+	return head, err
+}
+
 // launchTenant builds one incarnation: fresh kernel and clock, fixtures,
 // and a monitored launch from (possibly shared) artifacts.
 func launchTenant(cfg *Config, idx int, app string, withAttackFixtures bool, arts *Artifacts) (*core.Protected, workload.Target, error) {
@@ -490,14 +683,7 @@ func launchTenant(cfg *Config, idx int, app string, withAttackFixtures bool, art
 		return nil, nil, err
 	}
 
-	mcfg := monitor.DefaultConfig()
-	mcfg.Contexts = cfg.contexts()
-	mcfg.Mode = cfg.Mode
-	mcfg.ExtendFS = cfg.ExtendFS
-	mcfg.TreeFilter = cfg.TreeFilter
-	mcfg.VerdictCache = cfg.VerdictCache
-	mcfg.Offload = cfg.Offload
-	mcfg, err = arts.Config(app, mcfg)
+	mcfg, err := arts.Config(app, cfg.monitorConfig())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -570,6 +756,11 @@ func drainMonitor(res *TenantResult, prot *core.Protected, crashed bool) {
 	res.CacheMisses += mon.CacheMisses
 	res.FlowChecks += mon.FlowChecks
 	res.OffloadAvoided += mon.OffloadAvoided()
+	res.Reloads += mon.Reloads
+	res.ReloadCycles += mon.ReloadCycles
+	if g := mon.GenerationID(); g > res.Gen {
+		res.Gen = g
+	}
 	for _, v := range mon.Violations {
 		res.Violations = append(res.Violations, v.String())
 		res.ViolationMask |= v.Context

@@ -28,6 +28,17 @@ func TestConfigValidate(t *testing.T) {
 		{"malicious out of range", func(c *Config) { c.Malicious = map[int]string{9: "direct-cscfi"} }, "outside fleet"},
 		{"unknown attack", func(c *Config) { c.Malicious = map[int]string{0: "nope"} }, "unknown attack"},
 		{"attack app mismatch", func(c *Config) { c.Malicious = map[int]string{1: "direct-cscfi"} }, "targets nginx"},
+		{"negative workers", func(c *Config) { c.Workers = -2 }, "workers must be non-negative"},
+		{"backoff base over cap", func(c *Config) { c.BackoffBase = 100; c.BackoffCap = 50 }, "exceeds cap"},
+		{"backoff base over default cap", func(c *Config) { c.BackoffBase = DefaultBackoffCap + 1 }, "exceeds cap"},
+		{"fault tenant out of range", func(c *Config) { c.FaultAt = map[int]int{7: 2} }, "fault tenant 7 outside fleet"},
+		{"negative fault tenant", func(c *Config) { c.FaultAt = map[int]int{-1: 2} }, "outside fleet"},
+		{"negative fault unit", func(c *Config) { c.FaultAt = map[int]int{1: -3} }, "fault unit must be non-negative"},
+		{"negative shards", func(c *Config) { c.Shards = -1 }, "shards must be non-negative"},
+		{"negative vnodes", func(c *Config) { c.Shards = 2; c.ShardVnodes = -4 }, "vnodes must be non-negative"},
+		{"negative reload unit", func(c *Config) { c.ReloadAt = -1 }, "reload unit must be non-negative"},
+		{"reload without spec", func(c *Config) { c.ReloadAt = 3 }, "needs a reload policy spec"},
+		{"reload past units", func(c *Config) { c.ReloadAt = 6; c.ReloadSpec = &PolicySpec{} }, "needs more than"},
 	}
 	for _, tc := range cases {
 		cfg := base

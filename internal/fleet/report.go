@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"bastion/internal/core/monitor"
+	"bastion/internal/fleet/shard"
 	"bastion/internal/obs"
 )
 
@@ -17,6 +18,12 @@ type Report struct {
 	Cfg      Config
 	Schedule []int
 	Results  []TenantResult
+
+	// Shards is the sharded control plane's static plan — placement ring
+	// assignment and admission grants per shard — nil under the flat
+	// supervisor. It is computed before any tenant runs, so it is part of
+	// the report's deterministic surface.
+	Shards []*shard.Shard
 
 	// Compiles / FilterCompiles count program and seccomp-filter
 	// compilations across the whole run (shared cache plus any per-tenant
@@ -116,6 +123,74 @@ func (r *Report) OffloadAvoided() uint64 {
 	return n
 }
 
+// AdmitRejects sums full-queue admission rejections across tenants — the
+// sharded control plane's backpressure signal (0 on the flat supervisor).
+func (r *Report) AdmitRejects() int {
+	return r.sum(func(t *TenantResult) int { return t.AdmitRejects })
+}
+
+// MaxAdmitWait is the fleet's worst admission latency in cycles, taken
+// over the shard plans (0 on the flat supervisor).
+func (r *Report) MaxAdmitWait() uint64 {
+	var m uint64
+	for _, s := range r.Shards {
+		if w := s.MaxWait(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Reloads counts applied policy hot reloads across tenants.
+func (r *Report) Reloads() uint64 {
+	var n uint64
+	for i := range r.Results {
+		n += r.Results[i].Reloads
+	}
+	return n
+}
+
+// MeanReloadCycles is the mean swap cost per applied hot reload.
+func (r *Report) MeanReloadCycles() float64 {
+	n := r.Reloads()
+	if n == 0 {
+		return 0
+	}
+	var cyc uint64
+	for i := range r.Results {
+		cyc += r.Results[i].ReloadCycles
+	}
+	return float64(cyc) / float64(n)
+}
+
+// ShardMakespan is the latest finish time among the shard's members.
+func (r *Report) ShardMakespan(s *shard.Shard) uint64 {
+	var m uint64
+	for _, idx := range s.Members {
+		if e := r.Results[idx].ElapsedCycles(); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// ShardMetrics merges each shard's members' registries (member order)
+// into one registry per shard; MergedMetrics folds these shard registries
+// in shard order, so a sharded fleet's metrics roll up shard-by-shard.
+func (r *Report) ShardMetrics() []*obs.Registry {
+	out := make([]*obs.Registry, len(r.Shards))
+	for i, s := range r.Shards {
+		reg := obs.NewRegistry()
+		for _, idx := range s.Members {
+			if m := r.Results[idx].Metrics; m != nil {
+				reg.Merge(m)
+			}
+		}
+		out[i] = reg
+	}
+	return out
+}
+
 // CacheHitRate is the fleet-wide verdict-cache hit rate.
 func (r *Report) CacheHitRate() float64 {
 	var hits, misses uint64
@@ -188,6 +263,12 @@ func (r *Report) CompilesPerTenant() float64 {
 // result is deterministic because Merge and the renderers sort by name.
 func (r *Report) MergedMetrics() *obs.Registry {
 	merged := obs.NewRegistry()
+	if len(r.Shards) > 0 {
+		for _, reg := range r.ShardMetrics() {
+			merged.Merge(reg)
+		}
+		return merged
+	}
 	for i := range r.Results {
 		if m := r.Results[i].Metrics; m != nil {
 			merged.Merge(m)
@@ -249,6 +330,15 @@ func (r *Report) Markdown() string {
 	fmt.Fprintf(&b, "Setup: %d program compiles (%.2f/tenant), %d filter compiles, %.0f attach cyc/tenant.\n",
 		r.Compiles, r.CompilesPerTenant(), r.FilterCompiles, r.SetupCyclesPerTenant())
 
+	if len(r.Shards) > 0 {
+		fmt.Fprintf(&b, "Admission: %d rejections, max wait %d cyc, makespan %d cyc.\n",
+			r.AdmitRejects(), r.MaxAdmitWait(), r.WallCycles())
+	}
+	if r.Cfg.ReloadAt > 0 {
+		fmt.Fprintf(&b, "Hot reload: staged at unit %d, %d swaps applied, mean %.0f cyc/swap.\n",
+			r.Cfg.ReloadAt, r.Reloads(), r.MeanReloadCycles())
+	}
+
 	if v := r.ViolationsByContext(); len(v) > 0 {
 		ctxs := make([]monitor.Context, 0, len(v))
 		for ctx := range v {
@@ -260,6 +350,16 @@ func (r *Report) Markdown() string {
 			parts = append(parts, fmt.Sprintf("%s=%d", ctx, v[ctx]))
 		}
 		fmt.Fprintf(&b, "Violations by context: %s.\n", strings.Join(parts, ", "))
+	}
+
+	if len(r.Shards) > 0 {
+		b.WriteString("\n### Shards\n\n")
+		b.WriteString("| shard | tenants | rejects | max admit wait | makespan cyc |\n")
+		b.WriteString("|---|---|---|---|---|\n")
+		for _, s := range r.Shards {
+			fmt.Fprintf(&b, "| %d | %d | %d | %d | %d |\n",
+				s.ID, len(s.Members), s.Rejects(), s.MaxWait(), r.ShardMakespan(s))
+		}
 	}
 
 	attacked := false
@@ -291,7 +391,14 @@ func (r *Report) Markdown() string {
 
 // String returns a one-line fleet summary.
 func (r *Report) String() string {
-	return fmt.Sprintf("fleet %d×%d [%s] mode=%s: %d units, %.0f units/s, %d restarts, %d kills, %d dead, %d compiles",
+	s := fmt.Sprintf("fleet %d×%d [%s] mode=%s: %d units, %.0f units/s, %d restarts, %d kills, %d dead, %d compiles",
 		r.Cfg.Tenants, r.Cfg.Units, strings.Join(r.Cfg.Apps, ","), r.Cfg.Mode,
 		r.TotalUnits(), r.Throughput(), r.Restarts(), r.Kills(), r.Dead(), r.Compiles)
+	if len(r.Shards) > 0 {
+		s += fmt.Sprintf(", %d shards (%d rejections)", len(r.Shards), r.AdmitRejects())
+	}
+	if r.Cfg.ReloadAt > 0 {
+		s += fmt.Sprintf(", %d reloads", r.Reloads())
+	}
+	return s
 }

@@ -1,0 +1,139 @@
+package shard
+
+import "testing"
+
+func members(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func TestPlanBurstAdmitsImmediately(t *testing.T) {
+	cfg := AdmissionConfig{Burst: 8, RefillCycles: 1000, QueueDepth: 8, RetryCycles: 100, ArrivalSpacing: 0}
+	grants := Plan(cfg, members(8))
+	for i, g := range grants {
+		if g.Admit != g.Arrival || g.Rejects != 0 {
+			t.Errorf("grant %d within burst delayed: %+v", i, g)
+		}
+	}
+}
+
+func TestPlanRateLimitsPastBurst(t *testing.T) {
+	// 2-token burst, one token per 1000 cycles, everyone arrives at 0:
+	// members 0,1 admit at 0; member 2 at tick 1000; member 3 at 2000.
+	cfg := AdmissionConfig{Burst: 2, RefillCycles: 1000, QueueDepth: 8, RetryCycles: 100, ArrivalSpacing: 0}
+	grants := Plan(cfg, members(4))
+	want := []uint64{0, 0, 1000, 2000}
+	for i, g := range grants {
+		if g.Admit != want[i] {
+			t.Errorf("member %d admitted at %d, want %d", i, g.Admit, want[i])
+		}
+		if g.Rejects != 0 {
+			t.Errorf("member %d rejected %d times under a deep queue", i, g.Rejects)
+		}
+	}
+}
+
+func TestPlanRejectsWithRetryAfter(t *testing.T) {
+	// Burst 1, queue depth 1: member 0 takes the token, member 1 queues,
+	// members 2+ find the queue full and must retry later. Rejections are
+	// the backpressure signal; everyone is still eventually admitted.
+	cfg := AdmissionConfig{Burst: 1, RefillCycles: 1000, QueueDepth: 1, RetryCycles: 700, ArrivalSpacing: 0}
+	grants := Plan(cfg, members(4))
+	if grants[0].Admit != 0 {
+		t.Fatalf("member 0: %+v", grants[0])
+	}
+	if grants[1].Admit != 1000 {
+		t.Fatalf("member 1 should take the first tick: %+v", grants[1])
+	}
+	rejected := 0
+	for _, g := range grants[2:] {
+		rejected += g.Rejects
+		if g.Admit == g.Arrival {
+			t.Errorf("member %d admitted instantly despite full queue: %+v", g.Tenant, g)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no rejections despite queue depth 1 and 3 contenders")
+	}
+	// Retry timing: a rejected arrival re-presents RetryCycles later, so
+	// its admission is at least that far past its arrival.
+	for _, g := range grants[2:] {
+		if g.Rejects > 0 && g.Wait() < cfg.RetryCycles {
+			t.Errorf("member %d waited %d < retry-after %d", g.Tenant, g.Wait(), cfg.RetryCycles)
+		}
+	}
+}
+
+func TestPlanNoRateLimit(t *testing.T) {
+	cfg := AdmissionConfig{Burst: 1, RefillCycles: 0, QueueDepth: 0, ArrivalSpacing: 500}
+	grants := Plan(cfg, members(64))
+	for i, g := range grants {
+		if g.Admit != uint64(i)*500 || g.Rejects != 0 {
+			t.Errorf("grant %d with rate limiting off: %+v", i, g)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := AdmissionConfig{Burst: 3, RefillCycles: 777, QueueDepth: 2, RetryCycles: 1234, ArrivalSpacing: 100}
+	a := Plan(cfg, members(64))
+	b := Plan(cfg, members(64))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPlanBucketCapRespected(t *testing.T) {
+	// Long idle gap: tokens must cap at Burst, not accumulate unboundedly.
+	// Arrivals far apart (spacing 10*refill) keep the bucket pegged full;
+	// then a burst of late arrivals at the same instant can only draw
+	// Burst tokens before queueing.
+	cfg := AdmissionConfig{Burst: 2, RefillCycles: 100, QueueDepth: 64, RetryCycles: 50, ArrivalSpacing: 0}
+	// Hand-build arrivals: use spacing 0 and a large member set; after
+	// the initial 2 instant grants, every grant rides a tick, proving no
+	// idle credit beyond the cap leaked in.
+	grants := Plan(cfg, members(6))
+	instant := 0
+	for _, g := range grants {
+		if g.Wait() == 0 {
+			instant++
+		}
+	}
+	if instant != cfg.Burst {
+		t.Fatalf("%d instant grants, want exactly burst %d", instant, cfg.Burst)
+	}
+}
+
+func TestBuildPartitionsFleet(t *testing.T) {
+	schedule := make([]int, 512)
+	for i := range schedule {
+		schedule[i] = 511 - i
+	}
+	shards := Build(8, 0, DefaultAdmission(), schedule)
+	if len(shards) != 8 {
+		t.Fatalf("built %d shards, want 8", len(shards))
+	}
+	seen := map[int]bool{}
+	for _, s := range shards {
+		if len(s.Members) != len(s.Grants) {
+			t.Fatalf("shard %d: %d members but %d grants", s.ID, len(s.Members), len(s.Grants))
+		}
+		for i, tenant := range s.Members {
+			if seen[tenant] {
+				t.Fatalf("tenant %d on two shards", tenant)
+			}
+			seen[tenant] = true
+			if s.Grants[i].Tenant != tenant {
+				t.Fatalf("shard %d grant %d is for tenant %d, want %d", s.ID, i, s.Grants[i].Tenant, tenant)
+			}
+		}
+	}
+	if len(seen) != len(schedule) {
+		t.Fatalf("shards cover %d tenants, want %d", len(seen), len(schedule))
+	}
+}

@@ -126,6 +126,10 @@ type TrapEvent struct {
 	// Violation is the violation description when the trap was rejected
 	// ("" on a pass).
 	Violation string
+	// Gen is the artifact generation the verdicts were issued under
+	// (policy hot reload); 0 is the launch generation and is omitted from
+	// the JSON encoding, keeping pre-reload traces byte-stable.
+	Gen uint64
 }
 
 // Violated reports whether any context rejected the trap.
@@ -146,6 +150,9 @@ func (e *TrapEvent) appendJSON(b *strings.Builder) {
 	fmt.Fprintf(b, `,"depth":%d,"pointee":%d`, e.UnwindDepth, e.PointeeBytes)
 	if e.Violation != "" {
 		fmt.Fprintf(b, `,"violation":%s`, strconv.Quote(e.Violation))
+	}
+	if e.Gen != 0 {
+		fmt.Fprintf(b, `,"gen":%d`, e.Gen)
 	}
 	b.WriteByte('}')
 }

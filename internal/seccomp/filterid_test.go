@@ -1,0 +1,76 @@
+package seccomp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFilterIDStable(t *testing.T) {
+	prog := []Insn{
+		LoadAbs(0),
+		JumpEq(42, 0, 1),
+		RetConst(RetAllow),
+		RetConst(RetKill),
+	}
+	a, b := FilterID(prog), FilterID(prog)
+	if a != b {
+		t.Fatalf("FilterID not deterministic: %#x vs %#x", a, b)
+	}
+	if a == 0 {
+		t.Fatalf("FilterID collapsed to zero")
+	}
+}
+
+func TestFilterIDDistinguishes(t *testing.T) {
+	base := []Insn{LoadAbs(0), JumpEq(42, 0, 1), RetConst(RetAllow), RetConst(RetKill)}
+	id := FilterID(base)
+
+	// Any single-field change must move the hash: opcode, jump targets,
+	// the immediate (including high bytes), and instruction order.
+	mutants := [][]Insn{
+		{LoadAbs(4), JumpEq(42, 0, 1), RetConst(RetAllow), RetConst(RetKill)},
+		{LoadAbs(0), JumpEq(42, 1, 0), RetConst(RetAllow), RetConst(RetKill)},
+		{LoadAbs(0), JumpEq(43, 0, 1), RetConst(RetAllow), RetConst(RetKill)},
+		{LoadAbs(0), JumpEq(42|1<<24, 0, 1), RetConst(RetAllow), RetConst(RetKill)},
+		{LoadAbs(0), JumpEq(42, 0, 1), RetConst(RetKill), RetConst(RetAllow)},
+		base[:3],
+	}
+	for i, m := range mutants {
+		if FilterID(m) == id {
+			t.Errorf("mutant %d hashed identically to the base program", i)
+		}
+	}
+}
+
+func TestFilterIDCompiledPrograms(t *testing.T) {
+	// Linear and tree compilations of the same policy are different
+	// programs and must carry different identities, while recompiling the
+	// same shape reproduces the same identity.
+	pol := &Policy{
+		Default:   RetAllow,
+		Actions:   map[uint32]uint32{1: RetTrace, 2: RetKill, 9: RetTrace, 60: RetAllow},
+		CheckArch: true,
+	}
+	lin, err := pol.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := pol.CompileTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin2, err := pol.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FilterID(lin) != FilterID(lin2) {
+		t.Fatalf("recompiling the same policy changed the filter identity")
+	}
+	// The hash must agree with instruction-level equality in both
+	// directions (small policies may compile to the same program under
+	// both strategies).
+	if same := reflect.DeepEqual(lin, tree); same != (FilterID(lin) == FilterID(tree)) {
+		t.Fatalf("identity disagrees with program equality: equal=%v lin=%#x tree=%#x",
+			same, FilterID(lin), FilterID(tree))
+	}
+}

@@ -83,7 +83,27 @@ func Run(t Target, p *core.Protected, units int) (Result, error) {
 		return res, fmt.Errorf("workload %s init: %w", t.Name(), err)
 	}
 	res.InitCycles = p.Kernel.Clock.Cycles - startInit
+	err := steady(t, p, 0, units, &res)
+	return res, err
+}
 
+// Continue executes units against an already-initialized target without
+// re-running Init, numbering them base..base+units-1 so stateful drivers
+// (SQLite transaction ids, vsFTPd data ports) pick up exactly where the
+// previous slice stopped. Run(t, p, r) followed by Continue(t, p, r, u-r)
+// is byte-identical to Run(t, p, u) — the property the policy hot-reload
+// differential suite builds on: a live incarnation keeps serving across a
+// mid-run segment boundary with zero guest downtime.
+func Continue(t Target, p *core.Protected, base, units int) (Result, error) {
+	var res Result
+	err := steady(t, p, base, units, &res)
+	return res, err
+}
+
+// steady is the shared steady-state unit loop: cycles, monitor share, and
+// traps are measured as deltas across the slice, and a failing unit still
+// settles the counters accumulated so far.
+func steady(t Target, p *core.Protected, base, units int, res *Result) error {
 	start := p.Kernel.Clock.Cycles
 	monStart := p.Proc.MonitorCycles
 	trapStart := p.Proc.TrapCount
@@ -93,17 +113,17 @@ func Run(t Target, p *core.Protected, units int) (Result, error) {
 		res.Traps = p.Proc.TrapCount - trapStart
 	}
 	for i := 0; i < units; i++ {
-		n, err := t.Unit(p, i)
+		n, err := t.Unit(p, base+i)
 		if err != nil {
 			settle()
-			return res, fmt.Errorf("workload %s unit %d: %w", t.Name(), i, err)
+			return fmt.Errorf("workload %s unit %d: %w", t.Name(), base+i, err)
 		}
 		p.Kernel.Clock.Add(t.ThinkPerUnit())
 		res.Bytes += n
 		res.Units++
 	}
 	settle()
-	return res, nil
+	return nil
 }
 
 // IOPerByte is the per-application I/O + protocol work model charged per

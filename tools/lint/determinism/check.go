@@ -63,6 +63,16 @@ func checkFiles(files []*ast.File, info *types.Info) []diagnostic {
 							"%s: range over map %s emits output (%s) in iteration order; collect keys and sort first",
 							fn.Name.Name, exprString(rs.X), call),
 					})
+				} else if lhs := firstStringAccum(rs.Body, info); lhs != "" {
+					// s += ... inside a map range builds the rendered output
+					// in iteration order without ever calling an emitter —
+					// the same non-determinism through a side door.
+					diags = append(diags, diagnostic{
+						pos: rs.Pos(),
+						message: fmt.Sprintf(
+							"%s: range over map %s concatenates onto %s (+=) in iteration order; collect keys and sort first",
+							fn.Name.Name, exprString(rs.X), lhs),
+					})
 				}
 				return true
 			})
@@ -98,6 +108,49 @@ func firstEmit(body *ast.BlockStmt) string {
 		return true
 	})
 	return found
+}
+
+// firstStringAccum returns the rendered name of the first string-typed
+// += target in the block, or "" when none accumulates a string.
+func firstStringAccum(body *ast.BlockStmt, info *types.Info) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 {
+			return true
+		}
+		t := exprType(as.Lhs[0], info)
+		if t == nil {
+			return true
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			found = exprString(as.Lhs[0])
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprType resolves an expression's type, falling back to the identifier's
+// object when the typechecker recorded no expression entry (assignment
+// targets often only appear in Uses/Defs).
+func exprType(e ast.Expr, info *types.Info) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
 }
 
 // exprString renders a range operand for the diagnostic message.

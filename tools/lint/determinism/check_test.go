@@ -145,6 +145,62 @@ func (r *rep) Report() {
 	}
 }
 
+// TestFlagsStringConcatInMapRange: building the rendered output with +=
+// inside a map range is the same non-determinism as emitting directly.
+func TestFlagsStringConcatInMapRange(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+func RenderShards(m map[int]int) string {
+	out := ""
+	for k, v := range m {
+		out += fmt.Sprintf("%d=%d\n", k, v)
+	}
+	return out
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestAllowsNumericAccumInMapRange: += onto a number in a map range is
+// order-independent and must not be flagged.
+func TestAllowsNumericAccumInMapRange(t *testing.T) {
+	diags := checkSource(t, `package p
+
+func ReportTotal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("numeric accumulation flagged: %v", diags)
+	}
+}
+
+// TestFlagsStringFieldConcatInMapRange: += onto a struct field is caught
+// through the recorded expression type, not just plain identifiers.
+func TestFlagsStringFieldConcatInMapRange(t *testing.T) {
+	diags := checkSource(t, `package p
+
+type rep struct{ out string }
+
+func (r *rep) Summary(m map[string]string) {
+	for _, v := range m {
+		r.out += v
+	}
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+}
+
 func TestAllowsSliceRangeInRenderFunc(t *testing.T) {
 	diags := checkSource(t, `package p
 

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	bastion-audit [-app nginx|sqlite|vsftpd|all] [-allowlist file] [-strict] [-residual=false]
+//	bastion-audit [-app nginx|sqlite|vsftpd|all] [-format text|json] [-allowlist file] [-strict] [-residual=false]
+//
+// With -format json each app's report is emitted as one machine-readable
+// JSON document (stable key order, byte-identical across runs); -residual
+// is folded into the document and the findings list is always included.
 //
 // Exit status: 0 when the audit is clean, 1 when any error-severity
 // finding is present (or, with -strict, when any finding survives the
@@ -37,7 +41,13 @@ func main() {
 	allowFile := flag.String("allowlist", "", "allowlist file: one \"CODE location\" key per line, '#' comments")
 	strict := flag.Bool("strict", false, "fail on any finding not covered by the allowlist (warnings included)")
 	residual := flag.Bool("residual", true, "print the per-syscall residual-surface table")
+	format := flag.String("format", "text", "report format: text | json")
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "bastion-audit: unknown format %q\n", *format)
+		os.Exit(2)
+	}
 
 	var apps []string
 	switch *app {
@@ -69,12 +79,21 @@ func main() {
 			os.Exit(1)
 		}
 		rep := audit.Run(name, art.Prog, art.Meta)
-		fmt.Fprintf(os.Stdout, "audit %s: %d finding(s), %d error(s)\n", rep.App, len(rep.Findings), rep.Errors())
-		for _, f := range rep.Findings {
-			fmt.Printf("  %s\n", f)
-		}
-		if *residual {
-			fmt.Print(rep.RenderResidual())
+		if *format == "json" {
+			data, err := rep.RenderJSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bastion-audit: render %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(data)
+		} else {
+			fmt.Fprintf(os.Stdout, "audit %s: %d finding(s), %d error(s)\n", rep.App, len(rep.Findings), rep.Errors())
+			for _, f := range rep.Findings {
+				fmt.Printf("  %s\n", f)
+			}
+			if *residual {
+				fmt.Print(rep.RenderResidual())
+			}
 		}
 		if *strict {
 			if left := rep.Unallowed(allow); len(left) > 0 {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|sf|offload|refine|obs|fleet|shard|extras] [-units N]
+//	bastion-bench [-exp all|fig3|table3|table4|table5|table6|table7|filter|cache|sf|offload|refine|bside|obs|fleet|shard|extras] [-units N]
 //	bastion-bench -report out.md [-parallel] [-workers N]
 //
 // The shard experiment sweeps the sharded control plane across 256/1k/4k
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | sf | offload | refine | obs | fleet | shard | extras")
+	exp := flag.String("exp", "all", "experiment: all | fig3 | table3 | table4 | table5 | table6 | table7 | filter | cache | sf | offload | refine | bside | obs | fleet | shard | extras")
 	units := flag.Int("units", bench.DefaultUnits, "work units per measurement")
 	reportOut := flag.String("report", "", "write a complete markdown report to this file")
 	parallel := flag.Bool("parallel", false, "fan report experiments out across CPU cores (same output, less wall clock)")
@@ -186,6 +186,18 @@ func main() {
 			rows = append(rows, r)
 		}
 		fmt.Println(bench.RenderRefineAblation(rows))
+		return nil
+	})
+	run("bside", func() error {
+		var rows []*bench.BsideAblationResult
+		for _, app := range bench.Apps {
+			r, err := bench.BsideAblation(app, *units)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println(bench.RenderBsideAblation(rows))
 		return nil
 	})
 	run("obs", func() error {

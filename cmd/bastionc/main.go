@@ -6,6 +6,12 @@
 // Usage:
 //
 //	bastionc -app nginx [-meta out.json] [-dump-ir] [-summary] [-audit]
+//	bastionc -app nginx -binary-only [-meta out.json]
+//
+// With -binary-only the compiler pass is skipped entirely: the program is
+// linked uninstrumented and the policy artifact is recovered by the
+// B-Side static extractor (internal/core/binscan), exactly as for a guest
+// whose build system offers no compiler cooperation.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"bastion/internal/apps/vsftpd"
 	"bastion/internal/audit"
 	"bastion/internal/core"
+	"bastion/internal/core/binscan"
 	"bastion/internal/ir"
 	"bastion/internal/ir/irtext"
 )
@@ -29,6 +36,7 @@ func main() {
 	irOut := flag.String("o", "", "write the instrumented IR listing (.bir) to this file")
 	summary := flag.Bool("summary", true, "print the call-type summary")
 	doAudit := flag.Bool("audit", false, "audit the generated metadata against the instrumented program; exit 1 on any error-severity finding")
+	binaryOnly := flag.Bool("binary-only", false, "skip the compiler pass; extract the policy from the uninstrumented binary (B-Side mode)")
 	flag.Parse()
 
 	var prog *ir.Program
@@ -44,23 +52,46 @@ func main() {
 		os.Exit(2)
 	}
 
-	art, err := core.Compile(prog, core.CompileOptions{})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bastionc: %v\n", err)
-		os.Exit(1)
+	var art *core.Artifact
+	if *binaryOnly {
+		res, err := binscan.Extract(prog, binscan.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bastionc: extract: %v\n", err)
+			os.Exit(1)
+		}
+		art = &core.Artifact{Prog: prog, Meta: res.Meta}
+		es := res.Stats
+		fmt.Printf("bastionc: extracted %s (binary-only, no instrumentation)\n", *app)
+		fmt.Printf(" functions: %d (%d syscall wrappers, %d sensitive)\n",
+			es.Funcs, es.Wrappers, es.SensitiveWrappers)
+		fmt.Printf(" callsites: %d total (%d direct, %d indirect), %d sensitive\n",
+			es.TotalCallsites, es.DirectCallsites, es.IndirectCallsites, es.SensitiveCallsites)
+		fmt.Printf(" arguments: %d constants recovered, %d abandoned to top\n",
+			es.ConstArgs, es.TopArgs)
+		fmt.Printf(" control flow: %d coarse indirect edges, %d address-taken targets; flow graph %d nodes, %d edges\n",
+			es.CoarseEdges, es.AddressTaken, es.FlowNodes, es.FlowEdges)
+	} else {
+		var err error
+		art, err = core.Compile(prog, core.CompileOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bastionc: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
-	s := art.Stats
-	fmt.Printf("bastionc: compiled %s\n", *app)
-	fmt.Printf(" callsites: %d total (%d direct, %d indirect), %d sensitive\n",
-		s.TotalCallsites, s.DirectCallsites, s.IndirectCallsites, s.SensitiveCallsites)
-	fmt.Printf(" instrumentation: %d ctx_write_mem, %d ctx_bind_mem, %d ctx_bind_const (%d total)\n",
-		s.CtxWriteMem, s.CtxBindMem, s.CtxBindConst, s.Total())
-	fmt.Printf(" untraced arguments: %d\n", s.UntracedArgs)
-	fmt.Printf(" indirect refinement: edges %d -> %d, allowed pairs %d -> %d (%d exact, %d escaped sites)\n",
-		s.IndirectEdgesCoarse, s.IndirectEdgesRefined,
-		s.AllowedPairsCoarse, s.AllowedPairsRefined,
-		s.ExactIndirectSites, s.EscapedIndirectSites)
+	if !*binaryOnly {
+		s := art.Stats
+		fmt.Printf("bastionc: compiled %s\n", *app)
+		fmt.Printf(" callsites: %d total (%d direct, %d indirect), %d sensitive\n",
+			s.TotalCallsites, s.DirectCallsites, s.IndirectCallsites, s.SensitiveCallsites)
+		fmt.Printf(" instrumentation: %d ctx_write_mem, %d ctx_bind_mem, %d ctx_bind_const (%d total)\n",
+			s.CtxWriteMem, s.CtxBindMem, s.CtxBindConst, s.Total())
+		fmt.Printf(" untraced arguments: %d\n", s.UntracedArgs)
+		fmt.Printf(" indirect refinement: edges %d -> %d, allowed pairs %d -> %d (%d exact, %d escaped sites)\n",
+			s.IndirectEdgesCoarse, s.IndirectEdgesRefined,
+			s.AllowedPairsCoarse, s.AllowedPairsRefined,
+			s.ExactIndirectSites, s.EscapedIndirectSites)
+	}
 
 	if *summary {
 		fmt.Print(art.Meta.Summary())

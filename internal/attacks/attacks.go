@@ -296,29 +296,45 @@ func Replay(s Scenario, env *Env) Outcome {
 	return outcomeOf(s, env)
 }
 
+// BuildApp returns a fresh, uncompiled program for one of the catalog
+// applications (nginx | sqlite | vsftpd | apache).
+func BuildApp(app string) (*ir.Program, error) {
+	switch app {
+	case "nginx":
+		return nginx.Build(), nil
+	case "sqlite":
+		return sqlitedb.Build(), nil
+	case "vsftpd":
+		return vsftpd.Build(), nil
+	case "apache":
+		return buildApache(), nil
+	}
+	return nil, fmt.Errorf("attacks: unknown app %q", app)
+}
+
 // Launch builds, compiles, and starts the scenario's application under the
 // given defense, returning an attack environment with the app initialized
 // and one client connection established where applicable.
 func Launch(app string, d Defense) (*Env, error) {
-	var prog *ir.Program
-	switch app {
-	case "nginx":
-		prog = nginx.Build()
-	case "sqlite":
-		prog = sqlitedb.Build()
-	case "vsftpd":
-		prog = vsftpd.Build()
-	case "apache":
-		prog = buildApache()
-	default:
-		return nil, fmt.Errorf("attacks: unknown app %q", app)
+	prog, err := BuildApp(app)
+	if err != nil {
+		return nil, err
 	}
 	art, err := core.Compile(prog, core.CompileOptions{})
 	if err != nil {
 		return nil, err
 	}
+	return LaunchArtifact(app, art, d)
+}
+
+// LaunchArtifact starts an already-compiled artifact of the named
+// application under the given defense. Launch is Compile + LaunchArtifact;
+// the binary-only replay suite calls this directly to run a scenario's
+// program under an *extracted* policy artifact instead of the compiler's.
+func LaunchArtifact(app string, art *core.Artifact, d Defense) (*Env, error) {
 	k := kernel.New(nil)
 	InstallFixtures(k)
+	var err error
 
 	env := &Env{App: app}
 	var vmOpts []vm.Option

@@ -1,0 +1,167 @@
+// B-Side extraction audit: the precision/recall comparison between a
+// binary-only extracted policy artifact and the compiler-traced ground
+// truth for the same program. Both artifacts are reduced to their
+// address-independent projections (internal/core/binscan) so that the
+// instrumented/raw address skew cancels out, then diffed fact-by-fact per
+// context.
+//
+// Direction semantics differ by context. For CT, CF, and SF a traced fact
+// missing from the extraction is an error: the extracted policy would
+// reject behavior the compiler proved legitimate (a recall failure that
+// the soundness gate would also catch dynamically). Extra extracted facts
+// are warnings — the looseness cost of binary-only operation. For AI both
+// directions are warnings: the extractor may bind fewer constants than
+// the compiler traced (precision loss) or more (a memory-backed binding
+// the dataflow resolved to its constant store); extracted AI soundness is
+// established by the dynamic gate, not by comparison against the traced
+// constant set.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bastion/internal/core/binscan"
+	"bastion/internal/core/metadata"
+)
+
+// B-Side finding codes. Locations are projection fact strings, which are
+// address-independent and therefore stable across relinks.
+const (
+	CodeBsideCTMissing = "BSIDE-CT-MISSING" // traced call type absent from extraction
+	CodeBsideCTExtra   = "BSIDE-CT-EXTRA"   // extracted call type the compiler never traced
+	CodeBsideCFMissing = "BSIDE-CF-MISSING" // traced control-flow relation absent from extraction
+	CodeBsideCFExtra   = "BSIDE-CF-EXTRA"   // extracted control-flow relation beyond ground truth
+	CodeBsideAIMissing = "BSIDE-AI-MISSING" // traced constant binding the extractor abandoned
+	CodeBsideAIExtra   = "BSIDE-AI-EXTRA"   // extracted constant binding the compiler left memory-backed
+	CodeBsideSFMissing = "BSIDE-SF-MISSING" // traced transition absent from extraction
+	CodeBsideSFExtra   = "BSIDE-SF-EXTRA"   // extracted transition beyond ground truth
+)
+
+// ContextPR is one context's precision/recall row: extracted facts scored
+// against the compiler-traced ground truth.
+type ContextPR struct {
+	Context   string
+	Traced    int // ground-truth facts
+	Extracted int // extracted facts
+	Common    int // facts present in both
+}
+
+// Precision is |common| / |extracted| (1 when nothing was extracted).
+func (c ContextPR) Precision() float64 {
+	if c.Extracted == 0 {
+		return 1
+	}
+	return float64(c.Common) / float64(c.Extracted)
+}
+
+// Recall is |common| / |traced| (1 when there is no ground truth).
+func (c ContextPR) Recall() float64 {
+	if c.Traced == 0 {
+		return 1
+	}
+	return float64(c.Common) / float64(c.Traced)
+}
+
+// ExtractReport is the audited comparison for one application.
+type ExtractReport struct {
+	App      string
+	Rows     []ContextPR // one row per context, in binscan.Contexts order
+	Findings []Finding
+}
+
+// bsideCodes maps context -> {missing, extra} finding codes.
+var bsideCodes = map[string][2]string{
+	"CT": {CodeBsideCTMissing, CodeBsideCTExtra},
+	"CF": {CodeBsideCFMissing, CodeBsideCFExtra},
+	"AI": {CodeBsideAIMissing, CodeBsideAIExtra},
+	"SF": {CodeBsideSFMissing, CodeBsideSFExtra},
+}
+
+// DiffExtracted compares the extracted artifact against the traced ground
+// truth for one app and returns the per-context precision/recall report.
+// Findings are ordered like Run's: severity (errors first), code,
+// location, detail.
+func DiffExtracted(app string, traced, extracted *metadata.Metadata) *ExtractReport {
+	tp, ep := binscan.Project(traced), binscan.Project(extracted)
+	rep := &ExtractReport{App: app}
+	for _, ctx := range binscan.Contexts {
+		tf, ef := tp.Facts(ctx), ep.Facts(ctx)
+		eset := make(map[string]bool, len(ef))
+		for _, f := range ef {
+			eset[f] = true
+		}
+		tset := make(map[string]bool, len(tf))
+		for _, f := range tf {
+			tset[f] = true
+		}
+		row := ContextPR{Context: ctx, Traced: len(tf), Extracted: len(ef)}
+		missingSev := SevError
+		if ctx == "AI" {
+			missingSev = SevWarn
+		}
+		for _, f := range tf {
+			if eset[f] {
+				row.Common++
+				continue
+			}
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: missingSev, Code: bsideCodes[ctx][0], Location: f,
+				Detail: "traced fact not recovered by binary-only extraction",
+			})
+		}
+		for _, f := range ef {
+			if !tset[f] {
+				rep.Findings = append(rep.Findings, Finding{
+					Severity: SevWarn, Code: bsideCodes[ctx][1], Location: f,
+					Detail: "extracted fact beyond compiler ground truth (looseness)",
+				})
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		x, y := rep.Findings[i], rep.Findings[j]
+		if x.Severity != y.Severity {
+			return x.Severity > y.Severity
+		}
+		if x.Code != y.Code {
+			return x.Code < y.Code
+		}
+		if x.Location != y.Location {
+			return x.Location < y.Location
+		}
+		return x.Detail < y.Detail
+	})
+	return rep
+}
+
+// Errors counts SevError findings.
+func (r *ExtractReport) Errors() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// Render formats the report deterministically: the precision/recall table
+// first, then every finding.
+func (r *ExtractReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "b-side extraction audit %s: %d finding(s), %d error(s)\n",
+		r.App, len(r.Findings), r.Errors())
+	fmt.Fprintf(&b, "  %-4s %8s %10s %7s %10s %7s\n",
+		"ctx", "traced", "extracted", "common", "precision", "recall")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-4s %8d %10d %7d %10.3f %7.3f\n",
+			row.Context, row.Traced, row.Extracted, row.Common, row.Precision(), row.Recall())
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

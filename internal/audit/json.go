@@ -1,0 +1,75 @@
+// Machine-readable report rendering. The JSON schema mirrors the text
+// report exactly: the same findings in the same order, the same residual
+// rows, plus the derived error count. Field order is fixed by the struct
+// declarations and every slice is already deterministically sorted by
+// Run, so the encoding is byte-stable — two audits of the same artifact
+// render identical bytes, and CI can diff them.
+package audit
+
+import "encoding/json"
+
+type jsonFinding struct {
+	Code     string `json:"code"`
+	Detail   string `json:"detail"`
+	Location string `json:"location"`
+	Severity string `json:"severity"`
+}
+
+type jsonResidual struct {
+	ConstArgs       []string `json:"const_args"`
+	Direct          bool     `json:"direct"`
+	DirectSites     int      `json:"direct_sites"`
+	Indirect        bool     `json:"indirect"`
+	IndirectCoarse  int      `json:"indirect_coarse"`
+	IndirectRefined int      `json:"indirect_refined"`
+	Name            string   `json:"name"`
+	Nr              uint32   `json:"nr"`
+}
+
+type jsonReport struct {
+	App      string         `json:"app"`
+	Errors   int            `json:"errors"`
+	Findings []jsonFinding  `json:"findings"`
+	Residual []jsonResidual `json:"residual"`
+}
+
+// RenderJSON encodes the report as indented, byte-stable JSON with a
+// trailing newline. Findings and residual rows keep Run's deterministic
+// order; empty slices encode as [] rather than null.
+func (r *Report) RenderJSON() ([]byte, error) {
+	out := jsonReport{
+		App:      r.App,
+		Errors:   r.Errors(),
+		Findings: make([]jsonFinding, 0, len(r.Findings)),
+		Residual: make([]jsonResidual, 0, len(r.Residual)),
+	}
+	for _, f := range r.Findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			Code:     f.Code,
+			Detail:   f.Detail,
+			Location: f.Location,
+			Severity: f.Severity.String(),
+		})
+	}
+	for _, row := range r.Residual {
+		consts := row.ConstArgs
+		if consts == nil {
+			consts = []string{}
+		}
+		out.Residual = append(out.Residual, jsonResidual{
+			ConstArgs:       consts,
+			Direct:          row.Direct,
+			DirectSites:     row.DirectSites,
+			Indirect:        row.Indirect,
+			IndirectCoarse:  row.IndirectCoarse,
+			IndirectRefined: row.IndirectRefined,
+			Name:            row.Name,
+			Nr:              row.Nr,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

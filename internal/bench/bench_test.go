@@ -480,3 +480,34 @@ func TestObsAblation(t *testing.T) {
 		}
 	}
 }
+
+// TestBsideAblation is the acceptance bar for the binary-only extraction
+// ablation: both regimes complete the benign workload violation-free, the
+// extracted policy is never tighter than the traced one on the looseness
+// axes (pairs, flow edges), and the monitor numbers are sane.
+func TestBsideAblation(t *testing.T) {
+	for _, app := range Apps {
+		res, err := BsideAblation(app, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TracedViolations != 0 || res.BsideViolations != 0 {
+			t.Errorf("%s: benign workload flagged: traced=%d bside=%d",
+				app, res.TracedViolations, res.BsideViolations)
+		}
+		if res.PairsBside < res.PairsTraced {
+			t.Errorf("%s: extracted policy tighter than traced on allowed pairs: %d < %d",
+				app, res.PairsBside, res.PairsTraced)
+		}
+		if res.FlowEdgesBside < res.FlowEdgesTraced {
+			t.Errorf("%s: extracted flow graph smaller than traced: %d < %d",
+				app, res.FlowEdgesBside, res.FlowEdgesTraced)
+		}
+		if res.BsideMonPerUnit <= 0 {
+			t.Errorf("%s: b-side run did no monitor work (%.1f cyc/unit)", app, res.BsideMonPerUnit)
+		}
+		t.Logf("%s: ovh %.2f%%->%.2f%%, pairs %d->%d, edges %d->%d, consts %d->%d (+%d unbound)",
+			app, res.TracedOverhead, res.BsideOverhead, res.PairsTraced, res.PairsBside,
+			res.FlowEdgesTraced, res.FlowEdgesBside, res.ConstArgsTraced, res.ConstArgsBside, res.UnboundArgs)
+	}
+}

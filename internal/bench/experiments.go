@@ -6,10 +6,15 @@ import (
 	"strings"
 
 	"bastion/internal/attacks"
+	"bastion/internal/baseline/cet"
+	"bastion/internal/core"
+	"bastion/internal/core/binscan"
+	"bastion/internal/core/metadata"
 	"bastion/internal/core/monitor"
 	"bastion/internal/kernel"
 	"bastion/internal/obs"
 	"bastion/internal/seccomp"
+	"bastion/internal/vm"
 	"bastion/internal/workload"
 )
 
@@ -971,4 +976,138 @@ func SortedSensitiveNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// --- B-Side ablation: binary-only extracted policy vs compiler-traced ---
+
+// BsideAblationResult compares full protection under the compiler-traced
+// policy against full protection under the policy the binary-only
+// extractor (internal/core/binscan) recovers from the uninstrumented
+// program — the extraction-regime overhead and policy-looseness numbers.
+type BsideAblationResult struct {
+	App string
+	// TracedOverhead / BsideOverhead are percent vs vanilla, full
+	// contexts with the fs extension and verdict cache on. The b-side run
+	// executes the raw (intrinsic-free) binary, so its guest does less
+	// work per unit while its monitor checks the same trap stream.
+	TracedOverhead float64
+	BsideOverhead  float64
+	// Monitor cycles per work unit under each policy.
+	TracedMonPerUnit float64
+	BsideMonPerUnit  float64
+	// Policy looseness: allowed (syscall, indirect-callsite) pairs and
+	// transition-graph edges, traced vs extracted. Extraction stops at the
+	// address-taken ∩ type-match frontier, so its pair count matches the
+	// compiler's pre-refinement count and bounds the traced one below.
+	PairsTraced     int
+	PairsBside      int
+	FlowEdgesTraced int
+	FlowEdgesBside  int
+	// Constant-argument bindings recovered (traced counts ArgConst specs
+	// at syscall callsites; bside adds UnboundArgs for the positions the
+	// dataflow abandoned to ⊤).
+	ConstArgsTraced int
+	ConstArgsBside  int
+	UnboundArgs     int
+	// Both runs execute the identical benign workload, so both counts
+	// must be zero — the ablation doubles as a soundness probe.
+	TracedViolations int
+	BsideViolations  int
+}
+
+// BsideAblation measures the binary-only extraction ablation for one
+// application: identical full-protection workload runs, one enforcing the
+// compiler-traced metadata on the instrumented binary, one enforcing the
+// extracted metadata on the raw binary.
+func BsideAblation(app string, units int) (*BsideAblationResult, error) {
+	base, err := Run(RunSpec{App: app, Mitigation: MitVanilla, Units: units})
+	if err != nil {
+		return nil, err
+	}
+	traced, err := Run(RunSpec{App: app, Mitigation: MitFull, Units: units, ExtendFS: true, VerdictCache: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// The b-side leg: extract from the shared raw program (extraction is
+	// read-only on a linked program) and launch it under the extracted
+	// policy with the same monitor configuration and mitigation stack.
+	prog, err := sharedArtifacts.Raw(app)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := binscan.Extract(prog, binscan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	target, err := workload.NewTarget(app)
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(nil)
+	k.Costs.IOPerByte = workload.IOPerByte(app)
+	if err := target.Fixture(k); err != nil {
+		return nil, err
+	}
+	cfg := monitor.DefaultConfig()
+	cfg.ExtendFS = true
+	cfg.VerdictCache = true
+	prot, err := core.Launch(&core.Artifact{Prog: prog, Meta: ext.Meta}, k, cfg,
+		vm.WithMitigations(cet.New()), vm.WithMaxSteps(1<<34))
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.Run(target, prot, units)
+	if err != nil {
+		return nil, err
+	}
+	bres := &RunResult{Spec: RunSpec{App: app, Units: units}, Workload: wl, Target: target, Protected: prot}
+
+	tracedConsts := 0
+	for _, site := range traced.Stats.Meta.ArgSites {
+		if !site.IsSyscall {
+			continue
+		}
+		for _, spec := range site.Args {
+			if spec.Kind == metadata.ArgConst {
+				tracedConsts++
+			}
+		}
+	}
+	st := traced.Stats.Stats
+	return &BsideAblationResult{
+		App:              app,
+		TracedOverhead:   Overhead(base, traced),
+		BsideOverhead:    Overhead(base, bres),
+		TracedMonPerUnit: traced.Workload.PerUnitMonitor(),
+		BsideMonPerUnit:  bres.Workload.PerUnitMonitor(),
+		PairsTraced:      st.AllowedPairsRefined,
+		PairsBside:       ext.Stats.AllowedPairs,
+		FlowEdgesTraced:  traced.Stats.Meta.SyscallFlow.EdgeCount(),
+		FlowEdgesBside:   ext.Stats.FlowEdges,
+		ConstArgsTraced:  tracedConsts,
+		ConstArgsBside:   ext.Stats.ConstArgs,
+		UnboundArgs:      ext.Stats.TopArgs,
+		TracedViolations: len(traced.Protected.Monitor.Violations),
+		BsideViolations:  len(prot.Monitor.Violations),
+	}, nil
+}
+
+// RenderBsideAblation formats the extraction ablation rows.
+func RenderBsideAblation(rows []*BsideAblationResult) string {
+	var b strings.Builder
+	b.WriteString("B-Side ablation: full protection, traced metadata (instrumented binary) vs extracted metadata (raw binary)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %16s %16s %12s %12s %12s %6s\n", "app",
+		"traced ovh %", "bside ovh %", "traced cyc/unit", "bside cyc/unit",
+		"pairs t->b", "edges t->b", "consts t->b", "viol")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %12.2f %12.2f %16.0f %16.0f %5d->%-6d %5d->%-6d %5d->%-6d %3d/%-3d\n", r.App,
+			r.TracedOverhead, r.BsideOverhead,
+			r.TracedMonPerUnit, r.BsideMonPerUnit,
+			r.PairsTraced, r.PairsBside,
+			r.FlowEdgesTraced, r.FlowEdgesBside,
+			r.ConstArgsTraced, r.ConstArgsBside,
+			r.TracedViolations, r.BsideViolations)
+	}
+	return b.String()
 }

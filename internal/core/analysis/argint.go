@@ -107,6 +107,12 @@ func (p *pass) traceParam(f *ir.Function, param int, depth int) {
 	p.markVarSensitive(slotExpr, ir.WordSize, depth)
 
 	if depth+1 > p.opts.MaxUseDefDepth {
+		// Truncated inter-procedural trace: the callers' passed values stay
+		// unverified. Counted in the stats so the depth budget's cost is
+		// visible, but not recorded as metadata.Untraced — the parameter's
+		// spill slot is still shadowed above, so there is no per-callsite
+		// record for the audit to point at.
+		p.stats.UntracedArgs++
 		return
 	}
 	// Inter-procedural step: every caller binds and traces the argument it

@@ -1,0 +1,675 @@
+// Package binscan implements BASTION's B-Side regime: binary-only policy
+// extraction for guests that ship no compiler metadata. Where the compiler
+// pass (internal/core/analysis) traces contexts cooperatively — it sees
+// the unlinked program, plans instrumentation, and records ground truth as
+// it goes — this package is handed nothing but the linked,
+// instrumentation-free IR program and must reconstruct a
+// metadata-compatible policy artifact from the bytes alone:
+//
+//   - syscall-site discovery: Syscall instructions and the wrapper idiom
+//     (a function whose single Syscall carries a constant number) locate
+//     every system call the binary can issue;
+//   - call-type classification (CT): a syscall is directly callable when
+//     some Call targets its wrapper, indirectly callable when the
+//     wrapper's address is materialized (FuncAddr);
+//   - control-flow recovery (CF): the direct call graph is rebuilt by
+//     scanning Call instructions, and callee→valid-caller relations are
+//     derived by reverse reachability from sensitive wrappers, exactly as
+//     §6.2 does — but indirect callsites stop at the *coarse* frontier
+//     (every address-taken, signature-compatible function), because the
+//     binary carries no points-to seed facts;
+//   - argument integrity (AI): constant arguments at sensitive callsites
+//     are recovered by a conservative reaching-definitions dataflow over
+//     registers and resolvable stack cells (see constarg.go), joining to ⊤
+//     whenever paths disagree or a value's origin cannot be modeled;
+//   - syscall flow (SF): the transition-graph projection of flow.go,
+//     identical in structure to the compiler's but composed over the
+//     coarse indirect target sets, so the extracted graph is a superset of
+//     the traced one.
+//
+// Every recovered or abandoned fact carries provenance: a Fact row with a
+// stable reason code (mirroring the metadata.Untraced vocabulary), so the
+// audit can diff extraction against compiler ground truth per context.
+//
+// The extracted artifact is intentionally *looser* than the traced one —
+// coarse indirect sets, no memory-backed argument bindings, no shadow
+// instrumentation — but it must never be tighter than the dynamic truth:
+// soundness (extracted ⊇ every dynamic trace) is the acceptance gate,
+// enforced by the differential suite in soundness_test.go.
+package binscan
+
+import (
+	"fmt"
+	"sort"
+
+	"bastion/internal/core/metadata"
+	"bastion/internal/ir"
+)
+
+// Options configures the extractor.
+type Options struct {
+	// Sensitive is the set of syscall numbers receiving full context
+	// protection. Defaults to the Table 1 set (DefaultSensitive), which
+	// matches the compiler default so extracted and traced artifacts are
+	// directly comparable.
+	Sensitive []uint32
+	// MaxUseDefDepth bounds inter-procedural parameter resolution in the
+	// constant-argument dataflow (default 6, matching the compiler pass).
+	MaxUseDefDepth int
+}
+
+// Stats summarizes one extraction.
+type Stats struct {
+	Funcs             int
+	Wrappers          int // syscall wrapper functions discovered
+	SensitiveWrappers int
+
+	TotalCallsites     int
+	DirectCallsites    int
+	IndirectCallsites  int
+	SensitiveCallsites int // direct callsites invoking sensitive wrappers
+
+	AddressTaken int // functions whose address is materialized
+	CoarseEdges  int // Σ coarse targets over indirect callsites
+	AllowedPairs int // (syscall, indirect callsite) pairs admitted
+
+	ConstArgs int // argument positions recovered as constants
+	TopArgs   int // argument positions abandoned at ⊤
+
+	FlowNodes  int
+	FlowEdges  int
+	FlowStarts int
+}
+
+// Fact is one provenance row: which context a recovered (or abandoned)
+// fact belongs to, the stable reason code, where it was found, and a
+// human-readable detail. Facts are sorted and deterministic.
+type Fact struct {
+	Context  string // "CT", "CF", "AI", "SF"
+	Code     string
+	Location string
+	Detail   string
+}
+
+func (f Fact) String() string {
+	return fmt.Sprintf("%-2s %-24s %-28s %s", f.Context, f.Code, f.Location, f.Detail)
+}
+
+// Extraction reason codes. The AI codes mirror the metadata.Untraced
+// vocabulary (plus extraction-specific refinements) so audits can treat
+// compiler give-ups and extractor give-ups uniformly.
+const (
+	// ReasonConstRecovered tags an argument position resolved to a
+	// compile-time constant by the dataflow.
+	ReasonConstRecovered = "const-recovered"
+	// ReasonValueOrigin mirrors metadata.UntracedValueOrigin: the backward
+	// trace ended at an instruction the dataflow cannot model (a call
+	// result, an unresolvable load, an uninitialized cell).
+	ReasonValueOrigin = metadata.UntracedValueOrigin
+	// ReasonJoinDivergent: control-flow paths reach the use with different
+	// constants; the join is ⊤, never a stale pick.
+	ReasonJoinDivergent = "join-divergent"
+	// ReasonDepthLimit: inter-procedural parameter resolution exceeded
+	// MaxUseDefDepth.
+	ReasonDepthLimit = "depth-limit"
+	// ReasonIndirectCaller: the function is address-taken, so callers
+	// invisible to the static call graph may pass any value.
+	ReasonIndirectCaller = "indirect-caller-possible"
+	// ReasonNoStaticCaller: no Call instruction targets the function; its
+	// parameters arrive from outside the binary (an entry point).
+	ReasonNoStaticCaller = "no-static-caller"
+	// ReasonAddrEscape: the address of the stack cell escapes (passed to a
+	// call or otherwise materialized), so unseen writers may mutate it.
+	ReasonAddrEscape = "address-escapes"
+	// ReasonStoreAlias: the function contains a store through an address
+	// the cell language cannot resolve; all of its stack cells are
+	// untrusted.
+	ReasonStoreAlias = "store-unresolved-base"
+	// ReasonWrapperRemap: the wrapper does not pass its parameters
+	// positionally to the syscall instruction, so caller-position constants
+	// cannot be compared against trap registers.
+	ReasonWrapperRemap = "wrapper-arg-remap"
+)
+
+// Result is the extractor output: a metadata artifact the monitor can run,
+// per-fact provenance, and extraction statistics.
+type Result struct {
+	Meta  *metadata.Metadata
+	Stats Stats
+	Facts []Fact
+}
+
+// DefaultSensitive returns the Table 1 sensitive-syscall set. The values
+// duplicate kernel.SensitiveSyscalls (the extractor must not depend on the
+// kernel package: it models an offline tool run against a foreign binary).
+func DefaultSensitive() []uint32 {
+	return []uint32{
+		9,   // mmap
+		10,  // mprotect
+		25,  // mremap
+		41,  // socket
+		42,  // connect
+		43,  // accept
+		49,  // bind
+		50,  // listen
+		56,  // clone
+		57,  // fork
+		58,  // vfork
+		59,  // execve
+		90,  // chmod
+		101, // ptrace
+		105, // setuid
+		106, // setgid
+		113, // setreuid
+		216, // remap_file_pages
+		288, // accept4
+		322, // execveat
+	}
+}
+
+// scan carries extraction state.
+type scan struct {
+	prog *ir.Program
+	opts Options
+
+	sensitive map[uint32]bool
+	// wrapperNr maps wrapper function name -> syscall number.
+	wrapperNr map[string]int64
+	// positional marks wrappers that pass parameters straight through to
+	// the syscall instruction (position i -> syscall argument i).
+	positional map[string]bool
+	// callers maps callee -> set of direct callers.
+	callers map[string]map[string]bool
+	// callRefs maps callee -> direct call instructions, in program order.
+	callRefs map[string][]callRef
+	// addressTaken is the set of functions whose address is materialized.
+	addressTaken map[string]bool
+	sigOf        map[string]string
+
+	indirect []indSite
+
+	meta  *metadata.Metadata
+	stats Stats
+	facts []Fact
+
+	vals *valuation
+}
+
+type callRef struct {
+	fn  string
+	idx int
+}
+
+// indSite is one indirect callsite with its coarse frontier.
+type indSite struct {
+	fn     string
+	idx    int
+	sig    string
+	coarse map[string]bool
+}
+
+// Extract reconstructs a policy artifact from the program alone. The
+// program must validate; it is linked in place if it is not already (the
+// artifact's addresses refer to the program as handed in, so extracting
+// from an instrumented binary yields instrumented addresses and extracting
+// from a raw binary yields raw ones).
+func Extract(prog *ir.Program, opts Options) (*Result, error) {
+	if len(opts.Sensitive) == 0 {
+		opts.Sensitive = DefaultSensitive()
+	}
+	if opts.MaxUseDefDepth == 0 {
+		opts.MaxUseDefDepth = 6
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("binscan: %w", err)
+	}
+	if !prog.Linked() {
+		if err := prog.Link(); err != nil {
+			return nil, fmt.Errorf("binscan: %w", err)
+		}
+	}
+	s := &scan{
+		prog:         prog,
+		opts:         opts,
+		sensitive:    map[uint32]bool{},
+		wrapperNr:    map[string]int64{},
+		positional:   map[string]bool{},
+		callers:      map[string]map[string]bool{},
+		callRefs:     map[string][]callRef{},
+		addressTaken: map[string]bool{},
+		sigOf:        map[string]string{},
+		meta:         metadata.New(),
+	}
+	for _, nr := range opts.Sensitive {
+		s.sensitive[nr] = true
+	}
+	s.vals = newValuation(s)
+
+	s.findWrappers()
+	s.scanInstructions()
+	s.buildControlFlow()
+	s.recoverArguments()
+	s.buildFlow()
+
+	sort.Slice(s.facts, func(i, j int) bool {
+		a, b := s.facts[i], s.facts[j]
+		if a.Context != b.Context {
+			return a.Context < b.Context
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Location != b.Location {
+			return a.Location < b.Location
+		}
+		return a.Detail < b.Detail
+	})
+	if err := s.meta.Validate(); err != nil {
+		return nil, fmt.Errorf("binscan: extracted artifact invalid: %w", err)
+	}
+	return &Result{Meta: s.meta, Stats: s.stats, Facts: s.facts}, nil
+}
+
+func (s *scan) fact(ctx, code, loc, detail string) {
+	s.facts = append(s.facts, Fact{Context: ctx, Code: code, Location: loc, Detail: detail})
+}
+
+func loc(fn string, addr uint64) string { return fmt.Sprintf("%s:%#x", fn, addr) }
+
+// findWrappers discovers the syscall wrapper idiom and checks whether each
+// wrapper passes its parameters positionally (parameter i feeds syscall
+// argument i), which is what makes caller-position constants comparable
+// against the trap-time registers.
+func (s *scan) findWrappers() {
+	for _, f := range s.prog.Funcs {
+		nr, ok := ir.SyscallNumber(f)
+		if !ok {
+			continue
+		}
+		s.wrapperNr[f.Name] = nr
+		s.stats.Wrappers++
+		if s.sensitive[uint32(nr)] {
+			s.stats.SensitiveWrappers++
+		}
+		s.positional[f.Name] = wrapperPositional(f)
+		detail := fmt.Sprintf("nr=%d (%s)", nr, sysName(uint32(nr)))
+		if !s.positional[f.Name] {
+			detail += " non-positional"
+		}
+		s.fact("CT", "wrapper-idiom", f.Name, detail)
+	}
+}
+
+// wrapperPositional reports whether every syscall argument j of the
+// wrapper's Syscall instruction is the whole-word load of parameter slot j.
+func wrapperPositional(f *ir.Function) bool {
+	var sys *ir.Instr
+	for i := range f.Code {
+		if f.Code[i].Kind == ir.Syscall {
+			sys = &f.Code[i]
+			break
+		}
+	}
+	if sys == nil {
+		return false
+	}
+	for j, arg := range sys.Args[1:] {
+		if arg.Kind != ir.OperandReg {
+			return false
+		}
+		if !isParamLoad(f, arg.Reg, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// isParamLoad reports whether reg is defined (uniquely, textually) by a
+// whole-word load of parameter slot n.
+func isParamLoad(f *ir.Function, reg ir.Reg, n int) bool {
+	var load *ir.Instr
+	for i := range f.Code {
+		in := &f.Code[i]
+		if definesReg(in) && in.Dst == reg {
+			if load != nil {
+				return false // multiple defs: not the simple idiom
+			}
+			if in.Kind != ir.Load || in.Size != ir.WordSize || in.Off != 0 {
+				return false
+			}
+			load = in
+		}
+	}
+	if load == nil {
+		return false
+	}
+	// The load's base register must be the address of slot n.
+	for i := range f.Code {
+		in := &f.Code[i]
+		if definesReg(in) && in.Dst == load.Addr {
+			if in.Kind != ir.LocalAddr || in.Slot != n || in.Off != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scanInstructions walks every instruction once, building the callsite
+// map, call-type classification, direct call graph, address-taken set, and
+// indirect-site list.
+func (s *scan) scanInstructions() {
+	s.stats.Funcs = len(s.prog.Funcs)
+	s.meta.Entry = s.prog.Entry
+	for _, f := range s.prog.Funcs {
+		s.sigOf[f.Name] = f.TypeSig
+		s.meta.Funcs[f.Name] = metadata.FuncInfo{
+			Name:  f.Name,
+			Entry: f.Base,
+			End:   f.Base + uint64(len(f.Code))*ir.InstrSize,
+		}
+	}
+	for _, f := range s.prog.Funcs {
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch in.Kind {
+			case ir.Call:
+				s.stats.TotalCallsites++
+				s.stats.DirectCallsites++
+				cs := metadata.Callsite{
+					Addr:    f.InstrAddr(i),
+					RetAddr: f.InstrAddr(i + 1),
+					Caller:  f.Name,
+					Kind:    metadata.SiteDirect,
+					Target:  in.Sym,
+				}
+				s.meta.Callsites[cs.RetAddr] = cs
+				if s.callers[in.Sym] == nil {
+					s.callers[in.Sym] = map[string]bool{}
+				}
+				s.callers[in.Sym][f.Name] = true
+				s.callRefs[in.Sym] = append(s.callRefs[in.Sym], callRef{fn: f.Name, idx: i})
+				if nr, ok := s.wrapperNr[in.Sym]; ok {
+					ct := s.meta.CallTypes[uint32(nr)]
+					ct.Nr = uint32(nr)
+					ct.Wrapper = in.Sym
+					ct.Direct = true
+					s.meta.CallTypes[uint32(nr)] = ct
+					if s.sensitive[uint32(nr)] {
+						s.stats.SensitiveCallsites++
+					}
+				}
+			case ir.CallInd:
+				s.stats.TotalCallsites++
+				s.stats.IndirectCallsites++
+				cs := metadata.Callsite{
+					Addr:    f.InstrAddr(i),
+					RetAddr: f.InstrAddr(i + 1),
+					Caller:  f.Name,
+					Kind:    metadata.SiteIndirect,
+					TypeSig: in.TypeSig,
+				}
+				s.meta.Callsites[cs.RetAddr] = cs
+				s.indirect = append(s.indirect, indSite{fn: f.Name, idx: i, sig: in.TypeSig})
+			case ir.FuncAddr:
+				s.addressTaken[in.Sym] = true
+				s.meta.IndirectTargets[in.Sym] = true
+				if nr, ok := s.wrapperNr[in.Sym]; ok {
+					ct := s.meta.CallTypes[uint32(nr)]
+					ct.Nr = uint32(nr)
+					ct.Wrapper = in.Sym
+					ct.Indirect = true
+					s.meta.CallTypes[uint32(nr)] = ct
+				}
+			}
+		}
+	}
+	s.stats.AddressTaken = len(s.addressTaken)
+	for nr, ct := range s.meta.CallTypes {
+		ct.Name = sysName(nr)
+		s.meta.CallTypes[nr] = ct
+	}
+	nrs := make([]uint32, 0, len(s.meta.CallTypes))
+	for nr := range s.meta.CallTypes {
+		nrs = append(nrs, nr)
+	}
+	sort.Slice(nrs, func(i, j int) bool { return nrs[i] < nrs[j] })
+	for _, nr := range nrs {
+		ct := s.meta.CallTypes[nr]
+		mode := ""
+		if ct.Direct {
+			mode = "direct"
+		}
+		if ct.Indirect {
+			if mode != "" {
+				mode += "+"
+			}
+			mode += "indirect"
+		}
+		s.fact("CT", "callable", ct.Name, fmt.Sprintf("nr=%d %s via %s", nr, mode, ct.Wrapper))
+	}
+}
+
+// buildControlFlow derives callee→valid-caller relations by reverse
+// reachability from sensitive wrappers (the §6.2 algorithm on the
+// recovered call graph), then materializes the indirect-call policy at the
+// coarse frontier: with no instrumentation facts to seed a points-to
+// analysis, every address-taken, signature-compatible function is a
+// possible target, and refined == coarse (Exact=false everywhere).
+func (s *scan) buildControlFlow() {
+	reaches := map[uint32]map[string]bool{}
+	wrappers := make([]string, 0, len(s.wrapperNr))
+	for fn := range s.wrapperNr {
+		wrappers = append(wrappers, fn)
+	}
+	sort.Strings(wrappers)
+	for _, fn := range wrappers {
+		nr := uint32(s.wrapperNr[fn])
+		if !s.sensitive[nr] {
+			continue
+		}
+		set := map[string]bool{fn: true}
+		work := []string{fn}
+		for len(work) > 0 {
+			callee := work[0]
+			work = work[1:]
+			cs := s.callers[callee]
+			if len(cs) == 0 {
+				continue
+			}
+			if s.meta.ValidCallers[callee] == nil {
+				s.meta.ValidCallers[callee] = map[string]bool{}
+			}
+			names := make([]string, 0, len(cs))
+			for c := range cs {
+				names = append(names, c)
+			}
+			sort.Strings(names)
+			for _, caller := range names {
+				s.meta.ValidCallers[callee][caller] = true
+				if caller == s.prog.Entry || set[caller] {
+					continue
+				}
+				set[caller] = true
+				work = append(work, caller)
+			}
+		}
+		reaches[nr] = set
+	}
+	callees := make([]string, 0, len(s.meta.ValidCallers))
+	for callee := range s.meta.ValidCallers {
+		callees = append(callees, callee)
+	}
+	sort.Strings(callees)
+	for _, callee := range callees {
+		for _, caller := range sortedNames(s.meta.ValidCallers[callee]) {
+			s.fact("CF", "caller-edge", callee, "caller "+caller)
+		}
+	}
+
+	s.meta.AllowedIndirectCoarse = metadata.NrAddrSets{}
+	s.meta.IndirectSites = map[uint64]metadata.IndirectSite{}
+	for i := range s.indirect {
+		site := &s.indirect[i]
+		site.coarse = map[string]bool{}
+		for t := range s.addressTaken {
+			if site.sig != "" && s.sigOf[t] != site.sig {
+				continue
+			}
+			site.coarse[t] = true
+		}
+		f := s.prog.Func(site.fn)
+		addr := f.InstrAddr(site.idx)
+		names := sortedNames(site.coarse)
+		s.meta.IndirectSites[addr] = metadata.IndirectSite{
+			Addr:    addr,
+			Caller:  site.fn,
+			TypeSig: site.sig,
+			Targets: names,
+			Coarse:  names,
+			Exact:   false,
+		}
+		s.stats.CoarseEdges += len(site.coarse)
+		s.fact("CF", "indirect-frontier", loc(site.fn, addr),
+			fmt.Sprintf("sig=%q %d coarse targets", site.sig, len(site.coarse)))
+		for nr, set := range reaches {
+			if reachesAny(set, site.coarse) {
+				if s.meta.AllowedIndirectCoarse[nr] == nil {
+					s.meta.AllowedIndirectCoarse[nr] = metadata.AddrSet{}
+				}
+				s.meta.AllowedIndirectCoarse[nr][addr] = true
+				if s.meta.AllowedIndirect[nr] == nil {
+					s.meta.AllowedIndirect[nr] = metadata.AddrSet{}
+				}
+				s.meta.AllowedIndirect[nr][addr] = true
+			}
+		}
+	}
+	for _, set := range s.meta.AllowedIndirect {
+		s.stats.AllowedPairs += len(set)
+	}
+}
+
+// recoverArguments runs the constant-argument dataflow at every direct
+// callsite of a sensitive wrapper. Every such callsite gets an ArgSite
+// with IsSyscall set — even when no argument resolves — because the
+// monitor's argument-integrity walk treats a sensitive callsite without an
+// ArgSite record as a violation.
+func (s *scan) recoverArguments() {
+	for _, f := range s.prog.Funcs {
+		for i := range f.Code {
+			in := &f.Code[i]
+			if in.Kind != ir.Call {
+				continue
+			}
+			nr, isWrapper := s.wrapperNr[in.Sym]
+			if !isWrapper || !s.sensitive[uint32(nr)] {
+				continue
+			}
+			addr := f.InstrAddr(i)
+			site := metadata.ArgSite{
+				Addr:      addr,
+				Caller:    f.Name,
+				Target:    in.Sym,
+				SyscallNr: uint32(nr),
+				IsSyscall: true,
+			}
+			for j, arg := range in.Args {
+				pos := j + 1
+				if pos > 6 {
+					break
+				}
+				if !s.positional[in.Sym] {
+					s.abandonArg(f, i, pos, in.Sym, ReasonWrapperRemap)
+					continue
+				}
+				cv := s.vals.operand(f, i, arg, 0, map[valKey]bool{})
+				if cv.ok {
+					site.Args = append(site.Args, metadata.ArgSpec{
+						Pos:   pos,
+						Kind:  metadata.ArgConst,
+						Const: cv.v,
+					})
+					s.stats.ConstArgs++
+					s.fact("AI", ReasonConstRecovered, loc(f.Name, addr),
+						fmt.Sprintf("%s p%d = %d", in.Sym, pos, cv.v))
+					continue
+				}
+				s.abandonArg(f, i, pos, in.Sym, cv.reason)
+			}
+			sort.Slice(site.Args, func(a, b int) bool { return site.Args[a].Pos < site.Args[b].Pos })
+			s.meta.ArgSites[addr] = site
+		}
+	}
+	sort.Slice(s.meta.Untraced, func(i, j int) bool {
+		a, b := s.meta.Untraced[i], s.meta.Untraced[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Pos < b.Pos
+	})
+}
+
+// abandonArg records one ⊤ argument position with its reason, both as a
+// provenance fact and as a metadata.Untraced row.
+func (s *scan) abandonArg(f *ir.Function, idx, pos int, target, reason string) {
+	addr := f.InstrAddr(idx)
+	s.stats.TopArgs++
+	s.meta.Untraced = append(s.meta.Untraced, metadata.UntracedArg{
+		Addr:   addr,
+		Caller: f.Name,
+		Target: target,
+		Pos:    pos,
+		Reason: reason,
+	})
+	s.fact("AI", reason, loc(f.Name, addr), fmt.Sprintf("%s p%d", target, pos))
+}
+
+func reachesAny(set map[string]bool, targets map[string]bool) bool {
+	for t := range targets {
+		if set[t] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sysName(nr uint32) string {
+	if n, ok := syscallNames[nr]; ok {
+		return n
+	}
+	return fmt.Sprintf("sys_%d", nr)
+}
+
+// syscallNames duplicates the kernel's name table (the extractor is an
+// offline tool and must not import the kernel), following the same
+// convention as the compiler pass.
+var syscallNames = map[uint32]string{
+	0: "read", 1: "write", 2: "open", 3: "close", 4: "stat", 5: "fstat",
+	8: "lseek", 9: "mmap", 10: "mprotect", 11: "munmap", 12: "brk",
+	25: "mremap", 39: "getpid", 40: "sendfile", 41: "socket", 42: "connect",
+	43: "accept", 44: "sendto", 45: "recvfrom", 49: "bind", 50: "listen",
+	56: "clone", 57: "fork", 58: "vfork", 59: "execve", 60: "exit",
+	90: "chmod", 101: "ptrace", 105: "setuid", 106: "setgid",
+	113: "setreuid", 216: "remap_file_pages", 231: "exit_group",
+	257: "openat", 288: "accept4", 322: "execveat",
+}
+
+// definesReg reports whether the instruction writes a destination register.
+func definesReg(in *ir.Instr) bool {
+	switch in.Kind {
+	case ir.Const, ir.Mov, ir.Bin, ir.Load, ir.LocalAddr, ir.GlobalAddr,
+		ir.FuncAddr, ir.Call, ir.CallInd, ir.Syscall:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,296 @@
+// Syscall-flow projection for the B-Side extractor: the same
+// interprocedural FIRST/LAST/EMPTY summary dataflow the compiler's SF
+// derivation runs (internal/core/analysis/flow.go), composed over the
+// *coarse* indirect target sets the extractor recovers. Because the flow
+// composition is monotone in the target sets and coarse ⊇ refined, the
+// extracted transition graph is a superset of the compiler-traced one:
+// every ordering the traced SF context admits, the extracted one admits
+// too (soundness), while orderings only reachable through targets the
+// points-to analysis would have pruned are the extraction's looseness.
+
+package binscan
+
+import (
+	"fmt"
+	"sort"
+
+	"bastion/internal/core/metadata"
+	"bastion/internal/ir"
+)
+
+// emitSummary is one function's emission summary.
+type emitSummary struct {
+	first map[uint32]bool
+	last  map[uint32]bool
+	empty bool
+}
+
+// emitState is the abstract state before one instruction: the nrs that may
+// have been emitted last, plus top ("nothing emitted yet").
+type emitState struct {
+	top bool
+	nrs map[uint32]bool
+}
+
+func (s *emitState) clone() emitState {
+	c := emitState{top: s.top, nrs: make(map[uint32]bool, len(s.nrs))}
+	for nr := range s.nrs {
+		c.nrs[nr] = true
+	}
+	return c
+}
+
+func (s *emitState) join(o emitState) bool {
+	changed := false
+	if o.top && !s.top {
+		s.top = true
+		changed = true
+	}
+	for nr := range o.nrs {
+		if !s.nrs[nr] {
+			if s.nrs == nil {
+				s.nrs = map[uint32]bool{}
+			}
+			s.nrs[nr] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+type flowDeriver struct {
+	s           *scan
+	summaries   map[string]*emitSummary
+	siteTargets map[callRef]map[string]bool
+	changed     bool
+}
+
+// buildFlow derives the transition graph and stores it in the extracted
+// metadata. Programs without an entry function get the empty graph, which
+// constrains nothing.
+func (s *scan) buildFlow() {
+	s.meta.SyscallFlow = metadata.NewFlowGraph()
+	if s.prog.Entry == "" || s.prog.Func(s.prog.Entry) == nil {
+		return
+	}
+	fd := &flowDeriver{s: s, summaries: map[string]*emitSummary{}, siteTargets: map[callRef]map[string]bool{}}
+	for i := range s.indirect {
+		site := &s.indirect[i]
+		fd.siteTargets[callRef{fn: site.fn, idx: site.idx}] = site.coarse
+	}
+	names := make([]string, 0, len(s.prog.Funcs))
+	for _, f := range s.prog.Funcs {
+		if _, isWrapper := ir.SyscallNumber(f); isWrapper {
+			continue
+		}
+		names = append(names, f.Name)
+		fd.summaries[f.Name] = &emitSummary{first: map[uint32]bool{}, last: map[uint32]bool{}}
+	}
+	sort.Strings(names)
+
+	for {
+		fd.changed = false
+		for _, name := range names {
+			fd.analyze(s.prog.Func(name), nil)
+		}
+		if !fd.changed {
+			break
+		}
+	}
+
+	g := metadata.NewFlowGraph()
+	for _, name := range names {
+		fd.analyze(s.prog.Func(name), g)
+	}
+	if entry := fd.summaries[s.prog.Entry]; entry != nil {
+		starts := make([]uint32, 0, len(entry.first))
+		for nr := range entry.first {
+			starts = append(starts, nr)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		for _, nr := range starts {
+			g.AddStart(nr)
+			s.fact("SF", "start-nr", sysName(nr), fmt.Sprintf("nr=%d may open a process", nr))
+		}
+	}
+	s.meta.SyscallFlow = g
+	s.stats.FlowNodes = len(g.Nodes)
+	s.stats.FlowEdges = g.EdgeCount()
+	s.stats.FlowStarts = len(g.Start)
+
+	froms := make([]uint32, 0, len(g.Edges))
+	for a := range g.Edges {
+		froms = append(froms, a)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	for _, a := range froms {
+		tos := make([]uint32, 0, len(g.Edges[a]))
+		for b := range g.Edges[a] {
+			tos = append(tos, b)
+		}
+		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+		for _, b := range tos {
+			s.fact("SF", "transition-edge", sysName(a), fmt.Sprintf("-> %s (nr %d->%d)", sysName(b), a, b))
+		}
+	}
+}
+
+type emitEffect struct {
+	first map[uint32]bool
+	last  map[uint32]bool
+	empty bool
+}
+
+func (fd *flowDeriver) effectOf(f *ir.Function, idx int) *emitEffect {
+	in := &f.Code[idx]
+	switch in.Kind {
+	case ir.Call:
+		return fd.calleeEffect(map[string]bool{in.Sym: true})
+	case ir.CallInd:
+		return fd.calleeEffect(fd.siteTargets[callRef{fn: f.Name, idx: idx}])
+	}
+	return nil
+}
+
+// calleeEffect unions the effects of the possible callees; unknown targets
+// and empty target sets contribute a no-emission effect (permissive).
+func (fd *flowDeriver) calleeEffect(targets map[string]bool) *emitEffect {
+	eff := &emitEffect{first: map[uint32]bool{}, last: map[uint32]bool{}}
+	if len(targets) == 0 {
+		eff.empty = true
+		return eff
+	}
+	for t := range targets {
+		if nr, ok := fd.s.wrapperNr[t]; ok {
+			eff.first[uint32(nr)] = true
+			eff.last[uint32(nr)] = true
+			continue
+		}
+		sum := fd.summaries[t]
+		if sum == nil {
+			eff.empty = true
+			continue
+		}
+		for nr := range sum.first {
+			eff.first[nr] = true
+		}
+		for nr := range sum.last {
+			eff.last[nr] = true
+		}
+		if sum.empty {
+			eff.empty = true
+		}
+	}
+	return eff
+}
+
+// analyze runs the intra-function dataflow, updating f's summary; when g
+// is non-nil it also accumulates nodes and transition edges.
+func (fd *flowDeriver) analyze(f *ir.Function, g *metadata.FlowGraph) {
+	if f == nil || len(f.Code) == 0 {
+		return
+	}
+	sum := fd.summaries[f.Name]
+	in := make([]emitState, len(f.Code))
+	reached := make([]bool, len(f.Code))
+	in[0] = emitState{top: true, nrs: map[uint32]bool{}}
+	reached[0] = true
+	work := []int{0}
+	push := func(idx int, st emitState) {
+		if idx < 0 || idx >= len(f.Code) {
+			return
+		}
+		if !reached[idx] {
+			reached[idx] = true
+			in[idx] = st.clone()
+			work = append(work, idx)
+			return
+		}
+		if in[idx].join(st) {
+			work = append(work, idx)
+		}
+	}
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[idx]
+		instr := &f.Code[idx]
+		switch instr.Kind {
+		case ir.Ret:
+			for nr := range st.nrs {
+				if !sum.last[nr] {
+					sum.last[nr] = true
+					fd.changed = true
+				}
+			}
+			if st.top && !sum.empty {
+				sum.empty = true
+				fd.changed = true
+			}
+			continue
+		case ir.Jump:
+			push(instr.ToIndex, st)
+			continue
+		case ir.BranchNZ:
+			push(instr.ToIndex, st)
+			push(idx+1, st)
+			continue
+		case ir.Syscall:
+			// Validated programs keep Syscall inside wrappers, which this
+			// derivation treats as atomic emissions and never analyzes.
+			push(idx+1, st)
+			continue
+		}
+		eff := fd.effectOf(f, idx)
+		if eff == nil {
+			push(idx+1, st)
+			continue
+		}
+		out := emitState{nrs: map[uint32]bool{}}
+		if len(eff.first) > 0 {
+			if g != nil {
+				flowAddEdges(g, st.nrs, eff.first)
+			}
+			if st.top {
+				for nr := range eff.first {
+					if !sum.first[nr] {
+						sum.first[nr] = true
+						fd.changed = true
+					}
+					if g != nil {
+						g.Nodes[nr] = true
+					}
+				}
+			}
+		}
+		for nr := range eff.last {
+			out.nrs[nr] = true
+			if g != nil {
+				g.Nodes[nr] = true
+			}
+		}
+		if eff.empty {
+			out.join(st)
+		}
+		push(idx+1, out)
+	}
+}
+
+// flowAddEdges adds prev × next in sorted order (deterministic graphs).
+func flowAddEdges(g *metadata.FlowGraph, prev, next map[uint32]bool) {
+	ps := make([]uint32, 0, len(prev))
+	for nr := range prev {
+		ps = append(ps, nr)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	ns := make([]uint32, 0, len(next))
+	for nr := range next {
+		ns = append(ns, nr)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	for _, a := range ps {
+		for _, b := range ns {
+			g.AddEdge(a, b)
+		}
+	}
+}

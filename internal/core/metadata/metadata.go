@@ -371,10 +371,34 @@ func (m *Metadata) Validate() error {
 			}
 		}
 	}
+	// Control-flow edge lists must be duplicate-free: the monitor sizes its
+	// per-site permit tables from len(Targets), so a duplicated edge would
+	// double-count a target and skew the residual-surface accounting; a
+	// sidecar carrying one was not produced by the compiler. Fail closed.
+	for addr, site := range m.IndirectSites {
+		if dup := firstDuplicate(site.Targets); dup != "" {
+			return fmt.Errorf("metadata: indirect site %#x: duplicate refined target %q", addr, dup)
+		}
+		if dup := firstDuplicate(site.Coarse); dup != "" {
+			return fmt.Errorf("metadata: indirect site %#x: duplicate coarse target %q", addr, dup)
+		}
+	}
 	if err := m.SyscallFlow.validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// firstDuplicate returns the first repeated element of list, or "".
+func firstDuplicate(list []string) string {
+	seen := make(map[string]bool, len(list))
+	for _, s := range list {
+		if seen[s] {
+			return s
+		}
+		seen[s] = true
+	}
+	return ""
 }
 
 // Marshal serializes the metadata to JSON.

@@ -134,6 +134,95 @@ func TestValidateRejectsOutOfRangeArgPositions(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsDuplicateIndirectEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		site IndirectSite
+		want string
+	}{
+		{
+			name: "refined",
+			site: IndirectSite{Addr: 0x400200, Caller: "g", Targets: []string{"f", "f"}, Coarse: []string{"f"}},
+			want: "duplicate refined target",
+		},
+		{
+			name: "coarse",
+			site: IndirectSite{Addr: 0x400200, Caller: "g", Targets: []string{"f"}, Coarse: []string{"f", "h", "f"}},
+			want: "duplicate coarse target",
+		},
+	}
+	for _, tc := range cases {
+		m := sampleMeta()
+		m.IndirectSites = map[uint64]IndirectSite{tc.site.Addr: tc.site}
+		err := m.Validate()
+		if err == nil {
+			t.Fatalf("%s: duplicate edge accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: unexpected error %v", tc.name, err)
+		}
+		// Fail closed at sidecar load time, too.
+		data, merr := m.Marshal()
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if _, err := Unmarshal(data); err == nil {
+			t.Fatalf("%s: sidecar with duplicate edge accepted by Unmarshal", tc.name)
+		}
+	}
+	// The duplicate-free form of the same site must pass.
+	m := sampleMeta()
+	m.IndirectSites = map[uint64]IndirectSite{
+		0x400200: {Addr: 0x400200, Caller: "g", Targets: []string{"f"}, Coarse: []string{"f", "h"}},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("duplicate-free site rejected: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsFlowEdgeToAbsentNode(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*FlowGraph)
+		want   string
+	}{
+		{
+			name:   "edge target",
+			mutate: func(g *FlowGraph) { g.Edges[59] = NrSet{231: true} },
+			want:   "target is not a node",
+		},
+		{
+			name:   "edge source",
+			mutate: func(g *FlowGraph) { g.Edges[231] = NrSet{59: true} },
+			want:   "edge source 231",
+		},
+		{
+			name:   "start",
+			mutate: func(g *FlowGraph) { g.Start[231] = true },
+			want:   "is not a node",
+		},
+	}
+	for _, tc := range cases {
+		m := sampleMeta()
+		m.SyscallFlow.AddStart(59)
+		tc.mutate(m.SyscallFlow)
+		err := m.Validate()
+		if err == nil {
+			t.Fatalf("%s: dangling flow reference accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: unexpected error %v", tc.name, err)
+		}
+		data, merr := m.Marshal()
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if _, err := Unmarshal(data); err == nil {
+			t.Fatalf("%s: sidecar with dangling flow reference accepted by Unmarshal", tc.name)
+		}
+	}
+}
+
 func TestValidateRejectsNegativeSize(t *testing.T) {
 	m := sampleMeta()
 	site := m.ArgSites[0x400100]

@@ -26,6 +26,13 @@ var emitCalls = map[string]bool{
 	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
 }
 
+// fmtPrinter matches fmt's printer family: handing a map to any of these
+// formats it with %v semantics, whose ordering is fmt's internal business
+// (stable only for top-level comparable keys; unordered for NaN keys and
+// not an explicit, auditable contract). Rendered artifacts must instead
+// emit from explicitly sorted keys.
+var fmtPrinter = regexp.MustCompile(`^(Print|Sprint|Fprint)(f|ln)?$`)
+
 // diagnostic is one finding, positioned at the offending range statement.
 type diagnostic struct {
 	pos     token.Pos
@@ -45,6 +52,17 @@ func checkFiles(files []*ast.File, info *types.Info) []diagnostic {
 				continue
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if name, arg := mapFormatArg(call, info); name != "" {
+						diags = append(diags, diagnostic{
+							pos: call.Pos(),
+							message: fmt.Sprintf(
+								"%s: %s formats map %s with %%v semantics; render from explicitly sorted keys instead",
+								fn.Name.Name, name, arg),
+						})
+					}
+					return true
+				}
 				rs, ok := n.(*ast.RangeStmt)
 				if !ok {
 					return true
@@ -79,6 +97,32 @@ func checkFiles(files []*ast.File, info *types.Info) []diagnostic {
 		}
 	}
 	return diags
+}
+
+// mapFormatArg reports whether call is an fmt printer receiving a
+// map-typed value argument; it returns the printer's name and the
+// rendered offending argument, or "", "". Only fmt's package-level
+// printers count — methods named Printf on other receivers format
+// through their own contracts.
+func mapFormatArg(call *ast.CallExpr, info *types.Info) (name, arg string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fmtPrinter.MatchString(sel.Sel.Name) {
+		return "", ""
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" {
+		return "", ""
+	}
+	for _, a := range call.Args {
+		t := exprType(a, info)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return "fmt." + sel.Sel.Name, exprString(a)
+		}
+	}
+	return "", ""
 }
 
 // firstEmit returns the name of the first output-writing call in the

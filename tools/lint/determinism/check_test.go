@@ -201,6 +201,86 @@ func (r *rep) Summary(m map[string]string) {
 	}
 }
 
+// TestFlagsMapFormattedByFmtInRenderFunc: handing a whole map to an fmt
+// printer renders it with %v semantics — fmt's internal ordering, not an
+// explicit, auditable sort — and is flagged in emitting functions.
+func TestFlagsMapFormattedByFmtInRenderFunc(t *testing.T) {
+	for _, printer := range []string{
+		`fmt.Sprintf("%v", m)`,
+		`fmt.Sprint(m)`,
+		`fmt.Printf("counts: %v\n", m)`,
+		`fmt.Fprintln(os.Stderr, m)`,
+	} {
+		src := `package p
+
+import (
+	"fmt"
+	"os"
+)
+
+var _ = os.Stderr
+
+func RenderCounts(m map[string]int) {
+	_ = ` + printer + `
+}
+`
+		diags := checkSource(t, src)
+		if len(diags) != 1 {
+			t.Errorf("%s: want 1 diagnostic, got %d: %v", printer, len(diags), diags)
+		}
+	}
+}
+
+// TestAllowsMapFormatOutsideEmittingFunc: the fmt-on-map rule is scoped to
+// emitting functions like the range rules; debug helpers stay free.
+func TestAllowsMapFormatOutsideEmittingFunc(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+func debugCounts(m map[string]int) string {
+	return fmt.Sprintf("%v", m)
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("non-emitting function flagged: %v", diags)
+	}
+}
+
+// TestAllowsScalarFmtArgsInRenderFunc: formatting values read out of a map
+// is fine — only the map itself as a format operand is flagged.
+func TestAllowsScalarFmtArgsInRenderFunc(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+func RenderOne(m map[string]int, k string) string {
+	return fmt.Sprintf("%s=%d", k, m[k])
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("scalar format args flagged: %v", diags)
+	}
+}
+
+// TestAllowsNonFmtPrintfMethods: a Printf method on some other receiver
+// (e.g. a logger) formats through its own contract and is not fmt's %v.
+func TestAllowsNonFmtPrintfMethods(t *testing.T) {
+	diags := checkSource(t, `package p
+
+type logger struct{}
+
+func (logger) Printf(format string, args ...any) {}
+
+func RenderLog(l logger, m map[string]int) {
+	l.Printf("%d entries", len(m))
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("non-fmt Printf method flagged: %v", diags)
+	}
+}
+
 func TestAllowsSliceRangeInRenderFunc(t *testing.T) {
 	diags := checkSource(t, `package p
 

@@ -12,7 +12,8 @@
 //	              [-offload] [-tree] [-malicious IDX] [-attack ID] [-md]
 //	              [-shards N] [-reload-at N] [-reload-to SPEC]
 //	              [-trace out.jsonl] [-trace-format jsonl|chrome]
-//	              [-metrics out.txt] [-flight N]
+//	              [-metrics out.txt] [-metrics-format text|openmetrics]
+//	              [-flight N] [-slo p99=N,viol=R,rejects=R,warn=F]
 //
 // Example: inject the vsftpd CVE into tenant 2 of a six-tenant fleet and
 // watch it get killed and restarted while its siblings run undisturbed:
@@ -25,18 +26,88 @@
 // with zero guest downtime:
 //
 //	bastion-fleet -tenants 256 -units 20 -shards 8 -reload-at 10 -reload-to cache,tree -md
+//
+// Example: score every shard against service budgets (p99 trap latency
+// 16k cycles, one violation per thousand units, half an admission reject
+// per tenant) and export the merged registry for a Prometheus scrape:
+//
+//	bastion-fleet -tenants 64 -shards 4 -slo p99=16000,viol=1,rejects=0.5 \
+//	              -metrics fleet.om -metrics-format openmetrics -md
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"bastion/internal/core/monitor"
 	"bastion/internal/fleet"
 	"bastion/internal/obs"
 )
+
+// parseSLO turns a comma list of budget tokens into an SLOConfig. All
+// budgets start disabled; each token enables one: p99=N (trap-latency
+// p99 in cycles), viol=R (violations per 1000 units), rejects=R
+// (admission rejects per tenant), warn=F (PASS→WARN utilization,
+// default 0.8), factor=F / warmup=N (EWMA anomaly tuning).
+func parseSLO(s string) (*fleet.SLOConfig, error) {
+	cfg := &fleet.SLOConfig{ViolationsPerKUnit: -1, RejectsPerTenant: -1}
+	for _, tok := range strings.Split(strings.ReplaceAll(s, " ", ""), ",") {
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("token %q is not key=value", tok)
+		}
+		switch key {
+		case "p99":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("p99 wants a positive cycle count, got %q", val)
+			}
+			cfg.TrapP99Cycles = n
+		case "viol":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("viol wants a non-negative rate, got %q", val)
+			}
+			cfg.ViolationsPerKUnit = f
+		case "rejects":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("rejects wants a non-negative rate, got %q", val)
+			}
+			cfg.RejectsPerTenant = f
+		case "warn":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("warn wants a fraction, got %q", val)
+			}
+			cfg.WarnFraction = f
+		case "factor":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("factor wants a number, got %q", val)
+			}
+			cfg.AnomalyFactor = f
+		case "warmup":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("warmup wants an integer, got %q", val)
+			}
+			cfg.AnomalyWarmup = n
+		default:
+			return nil, fmt.Errorf("unknown budget %q (want p99, viol, rejects, warn, factor, warmup)", key)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
 
 func parseMode(s string) (monitor.Mode, error) {
 	switch s {
@@ -148,8 +219,10 @@ func main() {
 	reloadTo := flag.String("reload-to", "", "policy to hot-reload to: comma list of cache,tree,extendfs,offload,ct,cf,ai,sf")
 	traceOut := flag.String("trace", "", "write the fleet-wide decision trace (tenant-stamped) to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl | chrome")
-	metricsOut := flag.String("metrics", "", "write the merged metrics registry (text render) to this file")
+	metricsOut := flag.String("metrics", "", "write the merged metrics registry to this file")
+	metricsFormat := flag.String("metrics-format", "text", "merged-metrics format: text | openmetrics")
 	flightN := flag.Int("flight", 0, "per-tenant flight-recorder depth (0 = off)")
+	sloFlag := flag.String("slo", "", "service budgets as a comma list of p99=N,viol=R,rejects=R,warn=F (adds the SLO report section; implies tracing)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -193,6 +266,15 @@ func main() {
 	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
 		fail("-trace-format must be jsonl or chrome, got %q", *traceFormat)
 	}
+	if *metricsFormat != "text" && *metricsFormat != "openmetrics" {
+		fail("-metrics-format must be text or openmetrics, got %q", *metricsFormat)
+	}
+	var sloCfg *fleet.SLOConfig
+	if *sloFlag != "" {
+		if sloCfg, err = parseSLO(*sloFlag); err != nil {
+			fail("-slo: %v", err)
+		}
+	}
 	if *shards < 0 {
 		fail("-shards must be non-negative, got %d", *shards)
 	}
@@ -227,6 +309,7 @@ func main() {
 		ReloadSpec:     reloadSpec,
 		Trace:          *traceOut != "" || *metricsOut != "",
 		FlightN:        *flightN,
+		SLO:            sloCfg,
 	}
 	if *malicious >= 0 {
 		cfg.Malicious = map[int]string{*malicious: *attackID}
@@ -292,9 +375,13 @@ func main() {
 		fmt.Printf("%d trace events written to %s (%s)\n", len(events), *traceOut, *traceFormat)
 	}
 	if *metricsOut != "" {
-		if err := os.WriteFile(*metricsOut, []byte(rep.MergedMetrics().Render()), 0o644); err != nil {
+		render := rep.MergedMetrics().Render
+		if *metricsFormat == "openmetrics" {
+			render = rep.MergedMetrics().RenderOpenMetrics
+		}
+		if err := os.WriteFile(*metricsOut, []byte(render()), 0o644); err != nil {
 			runFail("%v", err)
 		}
-		fmt.Printf("merged metrics written to %s\n", *metricsOut)
+		fmt.Printf("merged metrics written to %s (%s)\n", *metricsOut, *metricsFormat)
 	}
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSLO(t *testing.T) {
+	cfg, err := parseSLO("p99=16000,viol=1,rejects=0.5,warn=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TrapP99Cycles != 16000 || cfg.ViolationsPerKUnit != 1 ||
+		cfg.RejectsPerTenant != 0.5 || cfg.WarnFraction != 0.9 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+
+	// Unlisted budgets stay disabled; listed zero-tolerance sticks.
+	cfg, err = parseSLO("viol=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TrapP99Cycles != 0 || cfg.ViolationsPerKUnit != 0 || cfg.RejectsPerTenant != -1 {
+		t.Fatalf("partial spec parsed %+v", cfg)
+	}
+
+	// Spaces are tolerated, anomaly knobs land.
+	cfg, err = parseSLO("p99=4000, factor=8, warmup=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AnomalyFactor != 8 || cfg.AnomalyWarmup != 4 {
+		t.Fatalf("anomaly knobs parsed %+v", cfg)
+	}
+
+	bad := map[string]string{
+		"p99":           "key=value",
+		"p99=0":         "positive",
+		"p99=fast":      "positive",
+		"viol=-1":       "non-negative",
+		"rejects=-0.5":  "non-negative",
+		"latency=5":     "unknown budget",
+		"warn=1":        "warn fraction",
+		"factor=1":      "anomaly factor",
+		"warmup=-1":     "warmup",
+		"warn=notafrac": "fraction",
+	}
+	for in, want := range bad {
+		if _, err := parseSLO(in); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("parseSLO(%q) = %v, want error containing %q", in, err, want)
+		}
+	}
+}

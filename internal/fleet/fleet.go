@@ -114,6 +114,13 @@ type Config struct {
 	// crashes or records a violation keeps that recorder's dump.
 	Trace   bool
 	FlightN int
+
+	// SLO declares per-shard service budgets, evaluated into the
+	// report's SLO section after the run. Non-nil SLO implies Trace —
+	// the evaluator reads merged trap-cycle histograms and per-tenant
+	// decision traces. Evaluation is read-only: tenant scheduling and
+	// verdicts are byte-identical with and without it.
+	SLO *SLOConfig
 }
 
 // Validate rejects nonsensical configurations.
@@ -171,6 +178,11 @@ func (c *Config) Validate() error {
 		}
 		if c.ReloadAt >= c.Units {
 			return fmt.Errorf("fleet: reload at unit %d needs more than %d units", c.ReloadAt, c.Units)
+		}
+	}
+	if c.SLO != nil {
+		if err := c.SLO.Validate(); err != nil {
+			return err
 		}
 	}
 	for idx, id := range c.Malicious {
@@ -358,6 +370,10 @@ func (t *TenantResult) ElapsedCycles() uint64 {
 func Run(cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.SLO != nil {
+		// SLO evaluation reads merged histograms and decision traces.
+		cfg.Trace = true
 	}
 	shared := NewArtifacts()
 	schedule := rand.New(rand.NewSource(cfg.Seed)).Perm(cfg.Tenants)
@@ -766,7 +782,7 @@ func drainMonitor(res *TenantResult, prot *core.Protected, crashed bool) {
 		res.ViolationMask |= v.Context
 	}
 	if res.Metrics != nil && mon.Metrics != nil {
-		res.Metrics.Merge(mon.Metrics)
+		mustMerge(res.Metrics, mon.Metrics)
 	}
 	if sink, ok := mon.Cfg.Sink.(*obs.BufferSink); ok && sink != nil {
 		// Each incarnation numbers its traps from zero; re-stamp to one

@@ -40,6 +40,7 @@ func telemetrySnapshot(t *testing.T, r *Report) string {
 		b.WriteString(tr.Flight)
 	}
 	b.WriteString(r.MergedMetrics().Render())
+	b.WriteString(r.MergedMetrics().RenderOpenMetrics())
 	b.WriteString(r.Markdown())
 	return b.String()
 }

@@ -183,12 +183,22 @@ func (r *Report) ShardMetrics() []*obs.Registry {
 		reg := obs.NewRegistry()
 		for _, idx := range s.Members {
 			if m := r.Results[idx].Metrics; m != nil {
-				reg.Merge(m)
+				mustMerge(reg, m)
 			}
 		}
 		out[i] = reg
 	}
 	return out
+}
+
+// mustMerge folds src into dst, panicking on mismatched histogram bounds.
+// Every fleet registry is built by the same monitor code from the same
+// fixed bucket variables, so a bounds mismatch here is a programming bug
+// that must surface immediately, not a recoverable condition.
+func mustMerge(dst, src *obs.Registry) {
+	if err := dst.Merge(src); err != nil {
+		panic("fleet: " + err.Error())
+	}
 }
 
 // CacheHitRate is the fleet-wide verdict-cache hit rate.
@@ -265,13 +275,13 @@ func (r *Report) MergedMetrics() *obs.Registry {
 	merged := obs.NewRegistry()
 	if len(r.Shards) > 0 {
 		for _, reg := range r.ShardMetrics() {
-			merged.Merge(reg)
+			mustMerge(merged, reg)
 		}
 		return merged
 	}
 	for i := range r.Results {
 		if m := r.Results[i].Metrics; m != nil {
-			merged.Merge(m)
+			mustMerge(merged, m)
 		}
 	}
 	return merged
@@ -360,6 +370,10 @@ func (r *Report) Markdown() string {
 			fmt.Fprintf(&b, "| %d | %d | %d | %d | %d |\n",
 				s.ID, len(s.Members), s.Rejects(), s.MaxWait(), r.ShardMakespan(s))
 		}
+	}
+
+	if r.Cfg.SLO != nil {
+		renderSLO(&b, r.EvaluateSLO())
 	}
 
 	attacked := false

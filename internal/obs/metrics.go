@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -74,6 +75,43 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.count)
+}
+
+// QuantileOverflow is Quantile's result when the requested rank falls in
+// the overflow bucket: every configured bound lies below the quantile, so
+// no finite upper bound can be reported.
+const QuantileOverflow = ^uint64(0)
+
+// Quantile returns the q-quantile of the recorded distribution under the
+// upper-bound convention: the smallest configured bucket bound b such that
+// at least ⌈q·count⌉ observations are ≤ b. The result is exact with
+// respect to the fixed buckets (the true quantile lies in the returned
+// bucket) and deterministic — no interpolation, no floating-point
+// accumulation. q is clamped to (0, 1]; a quantile landing in the
+// overflow bucket returns QuantileOverflow, and an empty histogram
+// returns 0.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(1)
+	if q > 0 {
+		rank = uint64(math.Ceil(q * float64(h.count)))
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i]
+		if cum >= rank {
+			return bound
+		}
+	}
+	return QuantileOverflow
 }
 
 // counterMap exposes an existing numeric-keyed counter map (for example
@@ -269,18 +307,22 @@ func (r *Registry) SnapshotJSON() string {
 // same name sum bucket-wise. Other is read, never modified. Merging a
 // registry into a fresh one therefore snapshots it, which is how fleet
 // tenants aggregate per-incarnation monitors.
-func (r *Registry) Merge(other *Registry) {
+//
+// Two same-named histograms must agree on their bucket bounds,
+// element-wise: every producer registers the same fixed bounds, so a
+// mismatch is a programming error, and summing misaligned buckets would
+// silently corrupt every quantile computed from the merged counts. Merge
+// returns an error naming the first mismatched histogram; r is left
+// partially merged and must be discarded by the caller.
+func (r *Registry) Merge(other *Registry) error {
 	for _, s := range other.counterSamples() {
 		r.Counter(s.name).Add(s.value)
 	}
 	for _, oh := range other.sortedHists() {
 		h := r.Histogram(oh.name, oh.bounds)
-		if len(h.buckets) != len(oh.buckets) {
-			// Bounds disagree between producers; count what is countable
-			// rather than corrupting buckets.
-			h.count += oh.count
-			h.sum += oh.sum
-			continue
+		if !equalBounds(h.bounds, oh.bounds) {
+			return fmt.Errorf("obs: merge histogram %q: bucket bounds differ (%v vs %v)",
+				oh.name, h.bounds, oh.bounds)
 		}
 		h.count += oh.count
 		h.sum += oh.sum
@@ -288,4 +330,18 @@ func (r *Registry) Merge(other *Registry) {
 			h.buckets[i] += oh.buckets[i]
 		}
 	}
+	return nil
+}
+
+// equalBounds reports element-wise equality of two bound slices.
+func equalBounds(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

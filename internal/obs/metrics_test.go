@@ -76,8 +76,12 @@ func TestHistogramBuckets(t *testing.T) {
 
 func TestRegistryMerge(t *testing.T) {
 	dst := NewRegistry()
-	dst.Merge(fixtureRegistry())
-	dst.Merge(fixtureRegistry())
+	if err := dst.Merge(fixtureRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(fixtureRegistry()); err != nil {
+		t.Fatal(err)
+	}
 
 	if got := dst.Counter("traps_total").Value(); got != 8 {
 		t.Fatalf("merged traps_total = %d, want 8", got)
@@ -97,8 +101,77 @@ func TestRegistryMerge(t *testing.T) {
 	// Merge must not disturb the source.
 	src := fixtureRegistry()
 	before := src.SnapshotJSON()
-	NewRegistry().Merge(src)
+	if err := NewRegistry().Merge(src); err != nil {
+		t.Fatal(err)
+	}
 	if src.SnapshotJSON() != before {
 		t.Fatal("Merge modified its source registry")
+	}
+}
+
+// TestRegistryMergeBoundsMismatch: same-named histograms with different
+// bucket bounds must make Merge fail loudly — summing misaligned buckets
+// would silently corrupt every quantile computed from the result.
+func TestRegistryMergeBoundsMismatch(t *testing.T) {
+	mismatches := []struct {
+		name   string
+		bounds []uint64
+	}{
+		{"different length", []uint64{10, 20, 30}},
+		{"same length, different bound", []uint64{10, 25}},
+	}
+	for _, tc := range mismatches {
+		dst := NewRegistry()
+		dst.Histogram("h", []uint64{10, 20}).Observe(5)
+		src := NewRegistry()
+		src.Histogram("h", tc.bounds).Observe(5)
+		err := dst.Merge(src)
+		if err == nil {
+			t.Fatalf("%s: Merge accepted mismatched bounds", tc.name)
+		}
+		if !strings.Contains(err.Error(), `"h"`) {
+			t.Fatalf("%s: error does not name the histogram: %v", tc.name, err)
+		}
+	}
+}
+
+// TestHistogramQuantile pins the upper-bound convention: Quantile returns
+// the smallest configured bound covering ⌈q·count⌉ observations, the
+// overflow sentinel past the last bound, and 0 when empty.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []uint64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 10 observations: 5 in le10, 3 in le20, 1 in le40, 1 overflow.
+	for _, v := range []uint64{1, 2, 3, 4, 10, 11, 15, 20, 33, 99} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.10, 10}, // rank 1
+		{0.50, 10}, // rank 5, cumulative le10 = 5
+		{0.51, 20}, // rank 6 crosses into le20
+		{0.80, 20}, // rank 8, cumulative le20 = 8
+		{0.90, 40}, // rank 9
+		{0.99, QuantileOverflow}, // rank 10 lands in overflow
+		{1.00, QuantileOverflow},
+		{-1, 10},  // clamped to rank 1
+		{0, 10},   // clamped to rank 1
+		{2.0, QuantileOverflow}, // clamped to rank count
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	// A distribution entirely within the bounds never returns the sentinel.
+	exact := NewRegistry().Histogram("e", []uint64{10})
+	exact.Observe(10)
+	if got := exact.Quantile(1); got != 10 {
+		t.Fatalf("p100 of in-bounds distribution = %d, want 10", got)
 	}
 }

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderOpenMetrics renders the registry in the Prometheus/OpenMetrics
+// text exposition format so fleet snapshots drop into standard tooling:
+//
+//	# TYPE monitor_hooks_total counter
+//	monitor_hooks_total 412
+//	# TYPE monitor_trap_cycles histogram
+//	monitor_trap_cycles_bucket{le="500"} 3
+//	...
+//	monitor_trap_cycles_bucket{le="+Inf"} 9
+//	monitor_trap_cycles_sum 41230
+//	monitor_trap_cycles_count 9
+//	# EOF
+//
+// The output is byte-deterministic: families sort by name, counter-map
+// rows keep their ascending-key order, and histogram buckets render
+// cumulatively in bound order. Bound counter maps become labeled samples
+// (`name{key="label"}`), and the per-syscall histograms the monitor
+// registers as `name[label]` are re-expressed the same way — the bracket
+// suffix moves into a `key` label on a shared family. Values are integers
+// throughout (counts and simulated cycles), so no float formatting is
+// involved.
+func (r *Registry) RenderOpenMetrics() string {
+	var b strings.Builder
+	for _, fam := range r.counterFamilies() {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", fam.name)
+		b.WriteString(fam.body)
+	}
+	for _, fam := range r.histogramFamilies() {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam.name)
+		b.WriteString(fam.body)
+	}
+	b.WriteString("# EOF\n")
+	return b.String()
+}
+
+// family is one rendered metric family: its exposition name and its
+// sample lines, already in final order.
+type family struct {
+	name string
+	body string
+}
+
+// counterFamilies renders plain counters (one unlabeled sample each) and
+// bound counter maps (one `key`-labeled sample per row) as sorted
+// families.
+func (r *Registry) counterFamilies() []family {
+	names := make([]string, 0, len(r.counters)+len(r.maps))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.maps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]family, 0, len(names))
+	for _, name := range names {
+		var body strings.Builder
+		if c := r.counters[name]; c != nil {
+			fmt.Fprintf(&body, "%s %d\n", metricName(name), c.Value())
+		} else {
+			for _, row := range r.CounterMapRows(name) {
+				fmt.Fprintf(&body, "%s{key=\"%s\"} %d\n", metricName(name), labelEscape(row.Label), row.Value)
+			}
+		}
+		out = append(out, family{name: metricName(name), body: body.String()})
+	}
+	return out
+}
+
+// histogramFamilies groups histograms into families: a registry name of
+// the form `base[label]` joins the `base` family with a `key` label, a
+// plain name is its own unlabeled family. Within a family the unlabeled
+// histogram renders first, then labeled ones in label order.
+func (r *Registry) histogramFamilies() []family {
+	type member struct {
+		label string
+		h     *Histogram
+	}
+	groups := map[string][]member{}
+	for _, h := range r.sortedHists() {
+		base, label := splitBracket(h.name)
+		groups[base] = append(groups[base], member{label: label, h: h})
+	}
+	bases := make([]string, 0, len(groups))
+	for base := range groups {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+
+	out := make([]family, 0, len(bases))
+	for _, base := range bases {
+		members := groups[base]
+		sort.Slice(members, func(i, j int) bool { return members[i].label < members[j].label })
+		name := metricName(base)
+		var body strings.Builder
+		for _, m := range members {
+			suffix := ""
+			if m.label != "" {
+				suffix = fmt.Sprintf(",key=\"%s\"", labelEscape(m.label))
+			}
+			var cum uint64
+			for i, bound := range m.h.bounds {
+				cum += m.h.buckets[i]
+				fmt.Fprintf(&body, "%s_bucket{le=\"%d\"%s} %d\n", name, bound, suffix, cum)
+			}
+			fmt.Fprintf(&body, "%s_bucket{le=\"+Inf\"%s} %d\n", name, suffix, m.h.count)
+			if m.label != "" {
+				fmt.Fprintf(&body, "%s_sum{key=\"%s\"} %d\n", name, labelEscape(m.label), m.h.sum)
+				fmt.Fprintf(&body, "%s_count{key=\"%s\"} %d\n", name, labelEscape(m.label), m.h.count)
+			} else {
+				fmt.Fprintf(&body, "%s_sum %d\n", name, m.h.sum)
+				fmt.Fprintf(&body, "%s_count %d\n", name, m.h.count)
+			}
+		}
+		out = append(out, family{name: name, body: body.String()})
+	}
+	return out
+}
+
+// splitBracket splits a registry name of the form `base[label]` into its
+// parts; a plain name returns ("name", "").
+func splitBracket(name string) (base, label string) {
+	i := strings.IndexByte(name, '[')
+	if i < 0 || !strings.HasSuffix(name, "]") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// metricName maps a registry name onto the exposition-format alphabet
+// [a-zA-Z0-9_:], replacing anything else with '_'. Registry names are
+// already in-alphabet today; the mapping keeps the renderer total.
+func metricName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !nameByte(name[i]) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return name
+	}
+	out := []byte(name)
+	for i, c := range out {
+		if !nameByte(c) {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// nameByte reports whether c is legal in an exposition metric name.
+func nameByte(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// labelEscape escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func labelEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}

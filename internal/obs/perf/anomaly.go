@@ -1,0 +1,60 @@
+package perf
+
+// AnomalyConfig tunes EWMA anomaly detection over a cycle stream. The
+// defaults use a power-of-two smoothing factor so the float arithmetic is
+// exact and the flags are bit-reproducible.
+type AnomalyConfig struct {
+	// Alpha is the EWMA smoothing factor (weight of the newest sample).
+	Alpha float64
+	// Factor flags a sample exceeding Factor × the running mean.
+	Factor float64
+	// Warmup samples are never flagged; they only feed the mean, so a
+	// stream's first traps (cold caches, deep first unwinds) don't alarm.
+	Warmup int
+}
+
+// DefaultAnomalyConfig returns the tuning used by the fleet SLO view:
+// alpha 1/8 (exact in binary), factor 4, warmup 8.
+func DefaultAnomalyConfig() AnomalyConfig {
+	return AnomalyConfig{Alpha: 0.125, Factor: 4, Warmup: 8}
+}
+
+// Anomaly is one flagged sample: its index in the stream, its value, and
+// the running mean it was compared against (the mean before the sample
+// was folded in).
+type Anomaly struct {
+	Index int
+	Value uint64
+	Mean  float64
+}
+
+// DetectEWMA flags samples that exceed Factor × the exponentially
+// weighted running mean of the stream so far. The stream is simulated
+// trap cycles in trap order — no wall clock — and the computation is a
+// single deterministic left-to-right pass, so the same stream always
+// yields the same flags. Zero-value config fields fall back to defaults.
+func DetectEWMA(values []uint64, cfg AnomalyConfig) []Anomaly {
+	def := DefaultAnomalyConfig()
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = def.Alpha
+	}
+	if cfg.Factor <= 1 {
+		cfg.Factor = def.Factor
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = def.Warmup
+	}
+	var out []Anomaly
+	var mean float64
+	for i, v := range values {
+		if i == 0 {
+			mean = float64(v)
+			continue
+		}
+		if i >= cfg.Warmup && float64(v) > cfg.Factor*mean {
+			out = append(out, Anomaly{Index: i, Value: v, Mean: mean})
+		}
+		mean = cfg.Alpha*float64(v) + (1-cfg.Alpha)*mean
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is the artifact schema this package writes and reads. A
+// bumped schema means the metric name space or encoding changed; readers
+// refuse other versions so the regression gate never compares across
+// incompatible encodings.
+const SchemaVersion = 1
+
+// Artifact is one benchmark run rendered as a flat, sorted metric list —
+// the unit of the repo's performance trajectory. Label identifies the run
+// (a git ref, "ci", a date); Units echoes the work-unit count the bench
+// ran with, because metric values are only comparable between artifacts
+// produced at the same units.
+type Artifact struct {
+	Schema  int
+	Label   string
+	Units   int
+	Metrics []Metric
+}
+
+// New returns an empty artifact for the given run label and unit count.
+func New(label string, units int) *Artifact {
+	return &Artifact{Schema: SchemaVersion, Label: label, Units: units}
+}
+
+// Add appends one metric. Callers may add in any order; JSON sorts.
+func (a *Artifact) Add(name string, v float64, dir Direction) {
+	a.Metrics = append(a.Metrics, Metric{Name: name, Value: v, Dir: dir})
+}
+
+// sorted orders metrics by name in place.
+func (a *Artifact) sorted() {
+	sort.Slice(a.Metrics, func(i, j int) bool { return a.Metrics[i].Name < a.Metrics[j].Name })
+}
+
+// Lookup returns the named metric. The artifact must be sorted (any
+// artifact that went through JSON or Validate is).
+func (a *Artifact) Lookup(name string) (Metric, bool) {
+	i := sort.Search(len(a.Metrics), func(i int) bool { return a.Metrics[i].Name >= name })
+	if i < len(a.Metrics) && a.Metrics[i].Name == name {
+		return a.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// Validate checks the invariants readers rely on: the supported schema
+// version and strictly ascending (therefore unique) metric names.
+func (a *Artifact) Validate() error {
+	if a.Schema != SchemaVersion {
+		return fmt.Errorf("perf: artifact schema %d, this build reads %d — regenerate the artifact",
+			a.Schema, SchemaVersion)
+	}
+	for i := range a.Metrics {
+		if a.Metrics[i].Name == "" {
+			return fmt.Errorf("perf: metric %d has an empty name", i)
+		}
+		if i > 0 && a.Metrics[i].Name <= a.Metrics[i-1].Name {
+			return fmt.Errorf("perf: metric names not strictly ascending at %q", a.Metrics[i].Name)
+		}
+	}
+	return nil
+}
+
+// JSON renders the artifact deterministically: metrics sorted by name,
+// one per line (so artifact diffs in version control read like metric
+// diffs), fixed field order, floats in shortest round-trip form. Two runs
+// producing the same measurements produce byte-identical artifacts.
+func (a *Artifact) JSON() string {
+	a.sorted()
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"schema\":%d,\"label\":%q,\"units\":%d,\"metrics\":[",
+		a.Schema, a.Label, a.Units)
+	for i := range a.Metrics {
+		m := &a.Metrics[i]
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "{\"name\":%q,\"dir\":%q,\"value\":%s}", m.Name, m.Dir.String(), formatValue(m.Value))
+	}
+	b.WriteString("\n]}\n")
+	return b.String()
+}
+
+// wireArtifact mirrors the JSON shape for parsing. Reading does not need
+// the deterministic writer; encoding/json is fine here.
+type wireArtifact struct {
+	Schema  int          `json:"schema"`
+	Label   string       `json:"label"`
+	Units   int          `json:"units"`
+	Metrics []wireMetric `json:"metrics"`
+}
+
+type wireMetric struct {
+	Name  string          `json:"name"`
+	Dir   string          `json:"dir"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Parse reads an artifact produced by JSON and validates it.
+func Parse(data []byte) (*Artifact, error) {
+	var w wireArtifact
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("perf: parse artifact: %w", err)
+	}
+	a := &Artifact{Schema: w.Schema, Label: w.Label, Units: w.Units}
+	a.Metrics = make([]Metric, len(w.Metrics))
+	for i, m := range w.Metrics {
+		dir, err := ParseDirection(m.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("perf: metric %q: %w", m.Name, err)
+		}
+		v, err := parseValue(m.Value)
+		if err != nil {
+			return nil, fmt.Errorf("perf: metric %q: %w", m.Name, err)
+		}
+		a.Metrics[i] = Metric{Name: m.Name, Value: v, Dir: dir}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// parseValue accepts the two encodings formatValue emits: a JSON number,
+// or one of the quoted non-finite sentinels.
+func parseValue(raw json.RawMessage) (float64, error) {
+	if len(raw) == 0 {
+		return 0, fmt.Errorf("missing value")
+	}
+	if raw[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return 0, err
+		}
+		switch s {
+		case "NaN":
+			return math.NaN(), nil
+		case "+Inf":
+			return math.Inf(1), nil
+		case "-Inf":
+			return math.Inf(-1), nil
+		}
+		return 0, fmt.Errorf("unknown value sentinel %q", s)
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}

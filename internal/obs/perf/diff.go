@@ -1,0 +1,255 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DeltaStatus classifies one metric's change between two artifacts.
+type DeltaStatus uint8
+
+const (
+	// Unchanged: the value moved by no more than the tolerance (or not at
+	// all, for Exact metrics).
+	Unchanged DeltaStatus = iota
+	// Improved: the value moved beyond tolerance in the good direction.
+	Improved
+	// Changed: an Info metric moved; never gates.
+	Changed
+	// Regressed: the value moved beyond tolerance in the bad direction,
+	// or an Exact metric changed at all.
+	Regressed
+	// Missing: the metric exists in the baseline but not in the new
+	// artifact — a silently dropped measurement gates like a regression.
+	Missing
+	// Added: the metric exists only in the new artifact; informational.
+	Added
+)
+
+// String returns the table form.
+func (s DeltaStatus) String() string {
+	switch s {
+	case Unchanged:
+		return "ok"
+	case Improved:
+		return "improved"
+	case Changed:
+		return "changed"
+	case Regressed:
+		return "REGRESSED"
+	case Missing:
+		return "MISSING"
+	case Added:
+		return "added"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Gates reports whether this status fails the regression gate.
+func (s DeltaStatus) Gates() bool { return s == Regressed || s == Missing }
+
+// Delta is one metric's comparison row.
+type Delta struct {
+	Name     string
+	Dir      Direction
+	Old, New float64
+	// Severity is the worsening as a fraction of |old| (0 when not
+	// worse); it orders the regression table worst-first. +Inf marks a
+	// regression from a zero baseline and Missing metrics.
+	Severity float64
+	Status   DeltaStatus
+}
+
+// Result is a full artifact comparison.
+type Result struct {
+	BaseLabel, NewLabel string
+	TolerancePct        float64
+	// Deltas holds every compared metric: gating rows first (severity
+	// descending, then name), then the rest in name order.
+	Deltas []Delta
+}
+
+// floatSlack absorbs pure floating-point noise when the tolerance math
+// itself lands on a boundary; it is far below any meaningful change in
+// the deterministic simulator.
+const floatSlack = 1e-12
+
+// Compare gates cur against base metric-by-metric. tolerancePct is the
+// allowed relative worsening for LowerIsBetter/HigherIsBetter metrics, in
+// percent of the baseline's magnitude; Exact metrics regress on any
+// change, Info metrics never regress. A metric present in base but
+// missing from cur is a regression (a measurement silently disappearing
+// must not pass a gate); a metric only in cur is reported as added.
+//
+// Comparing artifacts produced at different unit counts is an error —
+// their values are not commensurable.
+func Compare(base, cur *Artifact, tolerancePct float64) (*Result, error) {
+	if tolerancePct < 0 {
+		return nil, fmt.Errorf("perf: negative tolerance %v", tolerancePct)
+	}
+	if base.Units != cur.Units {
+		return nil, fmt.Errorf("perf: artifacts ran different unit counts (%d vs %d); regenerate at matching -units",
+			base.Units, cur.Units)
+	}
+	base.sorted()
+	cur.sorted()
+	res := &Result{BaseLabel: base.Label, NewLabel: cur.Label, TolerancePct: tolerancePct}
+	for i := range base.Metrics {
+		bm := &base.Metrics[i]
+		cm, ok := cur.Lookup(bm.Name)
+		if !ok {
+			res.Deltas = append(res.Deltas, Delta{
+				Name: bm.Name, Dir: bm.Dir, Old: bm.Value, New: math.NaN(),
+				Severity: math.Inf(1), Status: Missing,
+			})
+			continue
+		}
+		res.Deltas = append(res.Deltas, compareOne(bm, &cm, tolerancePct))
+	}
+	for i := range cur.Metrics {
+		cm := &cur.Metrics[i]
+		if _, ok := base.Lookup(cm.Name); !ok {
+			res.Deltas = append(res.Deltas, Delta{
+				Name: cm.Name, Dir: cm.Dir, Old: math.NaN(), New: cm.Value, Status: Added,
+			})
+		}
+	}
+	sort.SliceStable(res.Deltas, func(i, j int) bool {
+		di, dj := &res.Deltas[i], &res.Deltas[j]
+		gi, gj := di.Status.Gates(), dj.Status.Gates()
+		if gi != gj {
+			return gi
+		}
+		if gi && di.Severity != dj.Severity {
+			return di.Severity > dj.Severity
+		}
+		return di.Name < dj.Name
+	})
+	return res, nil
+}
+
+// compareOne classifies one metric pair. The baseline's declared
+// direction governs: what gated yesterday keeps gating today even if the
+// new artifact re-declared the metric.
+func compareOne(bm, cm *Metric, tolerancePct float64) Delta {
+	d := Delta{Name: bm.Name, Dir: bm.Dir, Old: bm.Value, New: cm.Value}
+	switch bm.Dir {
+	case Exact:
+		if sameValue(bm.Value, cm.Value) {
+			d.Status = Unchanged
+		} else {
+			// Any drift regresses; rank by the absolute relative change.
+			d.Status = Regressed
+			d.Severity = severity(bm.Value, math.Abs(worsening(bm.Value, cm.Value, LowerIsBetter)))
+		}
+	case Info:
+		if sameValue(bm.Value, cm.Value) {
+			d.Status = Unchanged
+		} else {
+			d.Status = Changed
+		}
+	default:
+		worse := worsening(bm.Value, cm.Value, bm.Dir)
+		allowed := tolerancePct / 100 * math.Abs(bm.Value)
+		switch {
+		case worse > allowed+floatSlack:
+			d.Status = Regressed
+			d.Severity = severity(bm.Value, worse)
+		case -worse > allowed+floatSlack:
+			d.Status = Improved
+		default:
+			d.Status = Unchanged
+		}
+	}
+	return d
+}
+
+// worsening is the signed amount by which new is worse than old under the
+// direction: positive means worse. Non-finite values compare as the worst
+// case when they differ.
+func worsening(old, new float64, dir Direction) float64 {
+	if math.IsNaN(old) || math.IsNaN(new) {
+		if sameValue(old, new) {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	if dir == HigherIsBetter {
+		return old - new
+	}
+	return new - old
+}
+
+// severity normalizes a worsening by the baseline's magnitude; a zero
+// baseline that got worse is infinitely severe.
+func severity(old, worse float64) float64 {
+	if worse <= 0 {
+		return 0
+	}
+	mag := math.Abs(old)
+	if mag == 0 || math.IsInf(worse, 1) {
+		return math.Inf(1)
+	}
+	return worse / mag
+}
+
+// Regressions returns the gating rows (already first in Deltas).
+func (r *Result) Regressions() []Delta {
+	n := 0
+	for n < len(r.Deltas) && r.Deltas[n].Status.Gates() {
+		n++
+	}
+	return r.Deltas[:n]
+}
+
+// OK reports whether the gate passes.
+func (r *Result) OK() bool { return len(r.Regressions()) == 0 }
+
+// Render returns the delta table: gating rows first (worst first), then
+// improvements, changes, and additions; unchanged metrics are summarized,
+// not listed. The output is deterministic — rows are pre-sorted and every
+// float renders through an explicit helper.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf diff: %s -> %s (tolerance %s%%)\n",
+		r.BaseLabel, r.NewLabel, trimFloat(r.TolerancePct))
+	var unchanged int
+	for i := range r.Deltas {
+		d := &r.Deltas[i]
+		if d.Status == Unchanged {
+			unchanged++
+			continue
+		}
+		fmt.Fprintf(&b, "  %-9s  %-52s %6s  %14s -> %-14s %s\n",
+			d.Status.String(), d.Name, d.Dir.String(),
+			trimFloat(d.Old), trimFloat(d.New), deltaPct(d))
+	}
+	n := r.Regressions()
+	fmt.Fprintf(&b, "%d regression(s), %d of %d metric(s) unchanged\n",
+		len(n), unchanged, len(r.Deltas))
+	return b.String()
+}
+
+// deltaPct renders the relative change column.
+func deltaPct(d *Delta) string {
+	if d.Status == Missing || d.Status == Added {
+		return ""
+	}
+	if math.IsNaN(d.Old) || math.IsNaN(d.New) || d.Old == 0 {
+		return ""
+	}
+	pct := (d.New - d.Old) / math.Abs(d.Old) * 100
+	return fmt.Sprintf("%+.2f%%", pct)
+}
+
+// trimFloat renders a value compactly and deterministically for the
+// table ('g' shortest form; NaN renders as "-").
+func trimFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

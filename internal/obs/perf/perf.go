@@ -1,0 +1,97 @@
+// Package perf is the performance-observability layer: machine-readable
+// benchmark artifacts with a schema version, metric-by-metric regression
+// gating between two artifacts, and deterministic anomaly detection over
+// simulated-cycle streams.
+//
+// Everything rendered here is byte-deterministic: metrics are sorted by
+// name, floats render in Go's shortest round-trip form via strconv (never
+// %v), and no wall-clock value ever enters an artifact — the bench
+// harness's wall timings are deliberately excluded.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Direction declares how a metric's value relates to quality, which is
+// what regression gating needs to know: whether a change is a regression,
+// an improvement, or just information.
+type Direction uint8
+
+const (
+	// Info metrics never gate; they are context (units, configuration
+	// echoes, sizes that may legitimately drift).
+	Info Direction = iota
+	// LowerIsBetter marks costs: cycles, overhead percentages, latencies.
+	LowerIsBetter
+	// HigherIsBetter marks capacities: throughput, hit rates.
+	HigherIsBetter
+	// Exact marks values that must not change at all: verdict bits,
+	// policy sizes, trap counts — the deterministic simulator reproduces
+	// them bit-for-bit, so any drift is a semantic change.
+	Exact
+)
+
+// String returns the wire form used in artifacts.
+func (d Direction) String() string {
+	switch d {
+	case Info:
+		return "info"
+	case LowerIsBetter:
+		return "lower"
+	case HigherIsBetter:
+		return "higher"
+	case Exact:
+		return "exact"
+	}
+	return fmt.Sprintf("direction(%d)", uint8(d))
+}
+
+// ParseDirection inverts String.
+func ParseDirection(s string) (Direction, error) {
+	switch s {
+	case "info":
+		return Info, nil
+	case "lower":
+		return LowerIsBetter, nil
+	case "higher":
+		return HigherIsBetter, nil
+	case "exact":
+		return Exact, nil
+	}
+	return Info, fmt.Errorf("perf: unknown direction %q", s)
+}
+
+// Metric is one named measurement in an artifact.
+type Metric struct {
+	Name  string
+	Value float64
+	Dir   Direction
+}
+
+// formatValue renders a float for the artifact: the shortest decimal form
+// that round-trips exactly ('g', -1), which is deterministic across runs
+// and platforms. NaN and the infinities are not JSON numbers and render
+// as quoted strings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return `"NaN"`
+	case math.IsInf(v, 1):
+		return `"+Inf"`
+	case math.IsInf(v, -1):
+		return `"-Inf"`
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sameValue is value equality for Exact gating: NaN equals NaN (a pinned
+// NaN staying NaN is "unchanged"), everything else is ==.
+func sameValue(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}

@@ -3,20 +3,28 @@
 // functions, where Go's randomized map order would make the rendered
 // artifact non-deterministic. The approved idiom is collect-then-sort:
 // gather keys in the range body, sort, then emit from the sorted slice.
+// It also forbids formatting floats through %v semantics in those
+// functions — rendered float bytes must come from an explicit verb
+// (%.3f) or strconv.FormatFloat so the representation is a stated
+// contract.
 package main
 
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"regexp"
+	"strings"
 )
 
 // emittingFunc matches function names whose output must be byte-stable.
 // The obs renderers (metric snapshots, flight-recorder dumps, trace
-// exporters) are covered by the snapshot/dump/export stems.
-var emittingFunc = regexp.MustCompile(`(?i)(markdown|render|report|summary|snapshot|dump|export)`)
+// exporters) are covered by the snapshot/dump/export stems; the perf
+// artifact writers and the OpenMetrics exposition by perf/openmetrics/
+// artifact.
+var emittingFunc = regexp.MustCompile(`(?i)(markdown|render|report|summary|snapshot|dump|export|perf|openmetrics|artifact)`)
 
 // emitCalls are the call names that write output directly: fmt's printers
 // and the io.Writer / strings.Builder write methods.
@@ -58,6 +66,13 @@ func checkFiles(files []*ast.File, info *types.Info) []diagnostic {
 							pos: call.Pos(),
 							message: fmt.Sprintf(
 								"%s: %s formats map %s with %%v semantics; render from explicitly sorted keys instead",
+								fn.Name.Name, name, arg),
+						})
+					} else if name, arg := floatFormatArg(call, info); name != "" {
+						diags = append(diags, diagnostic{
+							pos: call.Pos(),
+							message: fmt.Sprintf(
+								"%s: %s formats float %s with %%v semantics (shortest-representation output); use an explicit verb like %%.3f or strconv.FormatFloat",
 								fn.Name.Name, name, arg),
 						})
 					}
@@ -123,6 +138,118 @@ func mapFormatArg(call *ast.CallExpr, info *types.Info) (name, arg string) {
 		}
 	}
 	return "", ""
+}
+
+// floatFormatArg reports whether call is an fmt printer rendering a
+// float-typed value through %v semantics: either a constant format
+// string whose %v-family verb consumes a float argument, or a float
+// handed to one of the verbless printers (Print/Println and friends),
+// which always format with %v. Rendered artifacts must pin float output
+// to an explicit verb (precision) or strconv.FormatFloat so the byte
+// form is an auditable contract, not fmt's shortest-representation
+// default. Returns the printer's name and the offending argument, or
+// "", "".
+func floatFormatArg(call *ast.CallExpr, info *types.Info) (printer, arg string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fmtPrinter.MatchString(sel.Sel.Name) {
+		return "", ""
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	first := 0
+	if strings.HasPrefix(name, "F") {
+		first = 1 // skip the io.Writer
+	}
+	if first >= len(call.Args) {
+		return "", ""
+	}
+	if strings.HasSuffix(name, "f") {
+		tv, ok := info.Types[call.Args[first]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", "" // non-constant format string: not analyzable
+		}
+		idxs, ok := vVerbArgIndexes(constant.StringVal(tv.Value))
+		if !ok {
+			return "", ""
+		}
+		varargs := call.Args[first+1:]
+		for _, i := range idxs {
+			if i < len(varargs) && isFloatExpr(varargs[i], info) {
+				return "fmt." + name, exprString(varargs[i])
+			}
+		}
+		return "", ""
+	}
+	for _, a := range call.Args[first:] {
+		if isFloatExpr(a, info) {
+			return "fmt." + name, exprString(a)
+		}
+	}
+	return "", ""
+}
+
+// vVerbArgIndexes scans a format string and returns the variadic-arg
+// indices consumed by %v-family verbs (%v, %+v, %#v). Each '*' width or
+// precision consumes an argument slot of its own. Explicit argument
+// indexes ("%[1]d") abandon the scan (ok=false) rather than risk a
+// wrong mapping.
+func vVerbArgIndexes(format string) (idxs []int, ok bool) {
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				arg++
+			}
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					arg++
+				}
+				i++
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' {
+			return nil, false
+		}
+		if format[i] == 'v' {
+			idxs = append(idxs, arg)
+		}
+		arg++
+	}
+	return idxs, true
+}
+
+// isFloatExpr reports whether the expression's (defaulted) type is a
+// floating-point basic type.
+func isFloatExpr(e ast.Expr, info *types.Info) bool {
+	t := exprType(e, info)
+	if t == nil {
+		return false
+	}
+	b, ok := types.Default(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
 }
 
 // firstEmit returns the name of the first output-writing call in the

@@ -281,6 +281,154 @@ func RenderLog(l logger, m map[string]int) {
 	}
 }
 
+// TestFlagsPerfAndOpenMetricsStems: the v4 stems — perf artifact writers
+// and the OpenMetrics exposition — are emitting functions too.
+func TestFlagsPerfAndOpenMetricsStems(t *testing.T) {
+	for _, fn := range []string{"PerfArtifact", "renderOpenMetrics", "writeArtifact"} {
+		src := `package p
+
+import "fmt"
+
+func ` + fn + `(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`
+		if diags := checkSource(t, src); len(diags) != 1 {
+			t.Errorf("%s: want 1 diagnostic, got %d: %v", fn, len(diags), diags)
+		}
+	}
+}
+
+// TestFlagsFloatVerbVInRenderFunc: a float reaching a %v verb (or a
+// verbless printer) inside an emitting function is flagged — the byte
+// form must be an explicit contract, not fmt's shortest representation.
+func TestFlagsFloatVerbVInRenderFunc(t *testing.T) {
+	for _, printer := range []string{
+		`fmt.Sprintf("rate %v", f)`,
+		`fmt.Sprintf("%s %v", "x", f)`,
+		`fmt.Printf("%+v\n", f)`,
+		`fmt.Sprint(f)`,
+		`fmt.Println(f)`,
+		`fmt.Fprintln(os.Stderr, f)`,
+		`fmt.Sprintf("%*v", 8, f)`,
+	} {
+		src := `package p
+
+import (
+	"fmt"
+	"os"
+)
+
+var _ = os.Stderr
+
+func RenderRate(f float64) {
+	_ = ` + printer + `
+}
+`
+		diags := checkSource(t, src)
+		if len(diags) != 1 {
+			t.Errorf("%s: want 1 diagnostic, got %d: %v", printer, len(diags), diags)
+		}
+	}
+}
+
+// TestAllowsExplicitFloatVerbs: floats formatted with a stated verb and
+// precision, or passed to verbs that do not hit them, stay clean.
+func TestAllowsExplicitFloatVerbs(t *testing.T) {
+	for _, printer := range []string{
+		`fmt.Sprintf("%.2f", f)`,
+		`fmt.Sprintf("%8.3f%%", f)`,
+		`fmt.Sprintf("%g", f)`,
+		`fmt.Sprintf("%e", f)`,
+		`fmt.Sprintf("%v", int(f))`,
+		`fmt.Sprintf("%d %v", 3, "s")`,
+		`fmt.Sprintf("%.*f", 2, f)`,
+	} {
+		src := `package p
+
+import "fmt"
+
+func RenderRate(f float64) {
+	_ = ` + printer + `
+}
+`
+		diags := checkSource(t, src)
+		if len(diags) != 0 {
+			t.Errorf("%s: explicit float formatting flagged: %v", printer, diags)
+		}
+	}
+}
+
+// TestAllowsFloatVerbVOutsideEmittingFunc: like the map rules, the float
+// rule is scoped to emitting functions.
+func TestAllowsFloatVerbVOutsideEmittingFunc(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+func debugRate(f float64) string {
+	return fmt.Sprintf("%v", f)
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("non-emitting function flagged: %v", diags)
+	}
+}
+
+// TestFloatRuleSkipsUnanalyzableFormats: explicit argument indexes and
+// non-constant format strings abandon the scan instead of guessing.
+func TestFloatRuleSkipsUnanalyzableFormats(t *testing.T) {
+	diags := checkSource(t, `package p
+
+import "fmt"
+
+func RenderRate(f float64, format string) {
+	_ = fmt.Sprintf("%[1]v", f)
+	_ = fmt.Sprintf(format, f)
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("unanalyzable formats flagged: %v", diags)
+	}
+}
+
+func TestVVerbArgIndexes(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []int
+		ok     bool
+	}{
+		{"%v", []int{0}, true},
+		{"%d %v %s %v", []int{1, 3}, true},
+		{"%%v %v", []int{0}, true}, // %%v is literal text, consumes no arg
+		{"%+v", []int{0}, true},
+		{"%.2f %v", []int{1}, true},
+		{"%*v", []int{1}, true},
+		{"%.*f %v", []int{2}, true},
+		{"plain", nil, true},
+		{"%[1]v", nil, false},
+	}
+	for _, tc := range cases {
+		got, ok := vVerbArgIndexes(tc.format)
+		if ok != tc.ok {
+			t.Errorf("%q: ok=%v, want %v", tc.format, ok, tc.ok)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: indexes %v, want %v", tc.format, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q: indexes %v, want %v", tc.format, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
 func TestAllowsSliceRangeInRenderFunc(t *testing.T) {
 	diags := checkSource(t, `package p
 

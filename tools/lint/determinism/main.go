@@ -51,7 +51,7 @@ func main() {
 			// The version line feeds cmd/go's action cache key; bump the
 			// buildID token whenever the check's behavior changes. A devel
 			// version must carry an explicit buildID= field for cmd/go.
-			fmt.Printf("%s version devel buildID=determinism-v3\n", filepath.Base(os.Args[0]))
+			fmt.Printf("%s version devel buildID=determinism-v4\n", filepath.Base(os.Args[0]))
 			return
 		case filepath.Ext(args[0]) == ".cfg":
 			os.Exit(runVetProtocol(args[0]))
